@@ -1,0 +1,67 @@
+// Command incbench regenerates the tables and figures of the INCEPTIONN
+// paper's evaluation section.
+//
+// Usage:
+//
+//	incbench -list
+//	incbench -run fig12
+//	incbench -run all [-full] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"inceptionn/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments and exit")
+	run := flag.String("run", "all", "experiment to run (name or 'all')")
+	full := flag.Bool("full", false, "full-scale training runs (slower, closer to the paper)")
+	seed := flag.Int64("seed", 42, "deterministic seed for all experiments")
+	selftest := flag.Bool("selftest", false, "run cross-component consistency checks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %-8s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: !*full, Seed: *seed}
+
+	if *selftest {
+		fmt.Println("incbench self-test:")
+		if err := experiments.SelfTest(os.Stdout, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var toRun []experiments.Experiment
+	if *run == "all" {
+		toRun = experiments.Registry()
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "incbench: unknown experiment %q; -list shows options\n", name)
+				os.Exit(2)
+			}
+			toRun = append(toRun, e)
+		}
+	}
+
+	for _, e := range toRun {
+		fmt.Printf("\n################ %s: %s ################\n", e.Name, e.Title)
+		if err := e.Run(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "incbench: %s failed: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+	}
+}

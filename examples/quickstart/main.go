@@ -1,0 +1,63 @@
+// Quickstart: configure an INCEPTIONN system, compress a gradient vector
+// with the paper's lossy codec, and estimate the full-size training
+// speedup with the calibrated simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"inceptionn/internal/core"
+	"inceptionn/internal/models"
+	"inceptionn/internal/trainsim"
+)
+
+func main() {
+	sys, err := core.New(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.Summary())
+
+	// A gradient-shaped vector: tight around zero, rare large values.
+	rng := rand.New(rand.NewSource(1))
+	grad := make([]float32, 100000)
+	for i := range grad {
+		if rng.Intn(10) == 0 {
+			grad[i] = float32(rng.NormFloat64() * 0.1)
+		} else {
+			grad[i] = float32(rng.NormFloat64() * 0.002)
+		}
+	}
+
+	data, bits := sys.Compress(grad)
+	fmt.Printf("compressed %d floats: %d -> %d bytes (ratio %.1fx)\n",
+		len(grad), 4*len(grad), len(data), sys.Ratio(grad))
+
+	restored, err := sys.Decompress(data, bits, len(grad))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var maxErr float64
+	for i := range grad {
+		e := float64(restored[i] - grad[i])
+		if e < 0 {
+			e = -e
+		}
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	fmt.Printf("max reconstruction error: %.2e (guarantee %.2e)\n", maxErr, sys.Bound().MaxError())
+
+	// Full-size estimates from the Table-II-calibrated simulator.
+	fmt.Println("\nper-iteration estimates on the paper's testbed scale:")
+	cfg := trainsim.Default()
+	for _, spec := range models.Evaluated() {
+		wa := cfg.IterTime(trainsim.WA, spec)
+		inc := sys.Estimate(spec)
+		fmt.Printf("  %-10s WA %7.4fs  ->  INC+C %7.4fs  (%.1fx speedup)\n",
+			spec.Name, wa.Total(), inc.Total(), wa.Total()/inc.Total())
+	}
+}

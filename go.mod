@@ -1,0 +1,3 @@
+module inceptionn
+
+go 1.22

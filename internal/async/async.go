@@ -1,0 +1,220 @@
+// Package async implements the asynchronous parameter-server training
+// schemes the paper contrasts itself against in Sec. IX: fully
+// asynchronous SGD (HogWild!/DistBelief-style — workers push gradients and
+// pull weights with no coordination) and Stale Synchronous Parallel (SSP,
+// Ho et al., NIPS 2013 — a worker may run at most `staleness` clock ticks
+// ahead of the slowest worker).
+//
+// These schemes trade gradient staleness for the removal of the
+// synchronous exchange; INCEPTIONN instead keeps training synchronous and
+// removes the exchange's cost. The tests quantify the contrast: SSP with a
+// tight bound converges like the synchronous baseline, while large
+// staleness degrades accuracy — the "stale gradient" problem the paper
+// cites.
+package async
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"inceptionn/internal/data"
+	"inceptionn/internal/nn"
+	"inceptionn/internal/opt"
+	"inceptionn/internal/train"
+)
+
+// Server is the central parameter server: it owns the master weights and
+// optimizer state and applies pushed gradients immediately (asynchronous
+// updates, no gradient batching across workers).
+type Server struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	net     *nn.Network
+	sgd     *opt.SGD
+	sched   opt.StepSchedule
+	updates int
+	clocks  []int
+	stale   int // max allowed clock skew; negative = unbounded (HogWild)
+
+	// MaxSkewSeen records the largest (worker clock − slowest clock)
+	// observed at any clock advance, for staleness-bound verification.
+	MaxSkewSeen int
+}
+
+// NewServer builds a server around a freshly constructed network.
+func NewServer(build train.Builder, seed int64, sched opt.StepSchedule,
+	momentum, weightDecay float64, workers, staleness int) *Server {
+	s := &Server{
+		net:    build(rand.New(rand.NewSource(seed))),
+		sgd:    opt.NewSGD(sched.Base, momentum, weightDecay),
+		sched:  sched,
+		clocks: make([]int, workers),
+		stale:  staleness,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Push applies one worker's gradient to the master weights immediately.
+func (s *Server) Push(grad []float32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.net.SetGradVector(grad)
+	s.sgd.LR = s.sched.At(s.updates)
+	s.sgd.Step(s.net.Params())
+	s.updates++
+}
+
+// Pull returns a copy of the current master weights.
+func (s *Server) Pull() []float32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.net.WeightVector(nil)
+}
+
+// Updates returns the number of gradient applications so far.
+func (s *Server) Updates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updates
+}
+
+// AdvanceClock marks worker w as having completed one iteration and, under
+// SSP, blocks while the worker is more than the staleness bound ahead of
+// the slowest worker. With a negative bound it never blocks (HogWild).
+func (s *Server) AdvanceClock(w int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clocks[w]++
+	if skew := s.clocks[w] - s.minClockLocked(); skew > s.MaxSkewSeen {
+		s.MaxSkewSeen = skew
+	}
+	s.cond.Broadcast()
+	if s.stale < 0 {
+		return
+	}
+	for s.clocks[w]-s.minClockLocked() > s.stale {
+		s.cond.Wait()
+	}
+}
+
+func (s *Server) minClockLocked() int {
+	min := s.clocks[0]
+	for _, c := range s.clocks[1:] {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Evaluate measures the master model on up to n samples of ds. It holds
+// the server lock for the duration, so call it when workers are quiesced.
+func (s *Server) Evaluate(ds data.Dataset, n int) (acc, loss float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return evalNet(s.net, ds, n)
+}
+
+// Options configure an asynchronous run.
+type Options struct {
+	Workers      int
+	BatchPerNode int
+	Schedule     opt.StepSchedule
+	Momentum     float64
+	WeightDecay  float64
+	Seed         int64
+	// Staleness is the SSP bound: 0 approximates bulk-synchronous,
+	// small values allow bounded drift, negative disables the bound
+	// entirely (HogWild-style).
+	Staleness   int
+	EvalSamples int
+}
+
+// Result summarizes an asynchronous run.
+type Result struct {
+	FinalAcc    float64
+	FinalLoss   float64
+	Updates     int
+	MaxSkewSeen int
+}
+
+// Train runs iters iterations per worker asynchronously against a central
+// parameter server.
+func Train(build train.Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	if o.Workers < 1 || o.BatchPerNode < 1 {
+		return Result{}, fmt.Errorf("async: invalid options %+v", o)
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	server := NewServer(build, o.Seed, o.Schedule, o.Momentum, o.WeightDecay, o.Workers, o.Staleness)
+
+	var wg sync.WaitGroup
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			// Each worker holds a private replica for gradient computation.
+			replica := build(rand.New(rand.NewSource(o.Seed)))
+			shard := data.NewPartition(trainDS, id, o.Workers)
+			loader := data.NewLoader(shard, o.BatchPerNode,
+				rand.New(rand.NewSource(o.Seed+int64(7000+id))))
+			var sce nn.SoftmaxCrossEntropy
+			grad := make([]float32, 0, replica.NumParams())
+			for iter := 0; iter < iters; iter++ {
+				replica.SetWeightVector(server.Pull())
+				batch := loader.Next()
+				replica.ZeroGrads()
+				logits := replica.Forward(batch.X, true)
+				_, dlogits := sce.Loss(logits, batch.Labels)
+				replica.Backward(dlogits)
+				grad = replica.GradVector(grad[:0])
+				server.Push(grad)
+				server.AdvanceClock(id)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	acc, loss := server.Evaluate(testDS, o.EvalSamples)
+	return Result{
+		FinalAcc:    acc,
+		FinalLoss:   loss,
+		Updates:     server.Updates(),
+		MaxSkewSeen: server.MaxSkewSeen,
+	}, nil
+}
+
+// evalNet mirrors train.evaluate for a standalone network.
+func evalNet(net *nn.Network, ds data.Dataset, n int) (acc, loss float64) {
+	if n > ds.Len() {
+		n = ds.Len()
+	}
+	const evalBatch = 64
+	var sce nn.SoftmaxCrossEntropy
+	correct, total := 0, 0
+	var lossSum float64
+	for off := 0; off < n; off += evalBatch {
+		hi := off + evalBatch
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-off)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		b := data.MakeBatch(ds, idx)
+		logits := net.Forward(b.X, false)
+		l, _ := sce.Loss(logits, b.Labels)
+		lossSum += l * float64(len(idx))
+		for i, p := range nn.Predict(logits) {
+			if p == b.Labels[i] {
+				correct++
+			}
+		}
+		total += len(idx)
+	}
+	return float64(correct) / float64(total), lossSum / float64(total)
+}

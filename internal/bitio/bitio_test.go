@@ -1,0 +1,204 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadSingleBits(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.Len() != len(pattern) {
+		t.Fatalf("Len = %d, want %d", w.Len(), len(pattern))
+	}
+	r := NewReader(w.Bytes(), w.Len())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit %d = %d, want %d", i, got, want)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestLSBFirstPacking(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0b1011, 4) // bits 0..3
+	w.WriteBits(0b0110, 4) // bits 4..7
+	got := w.Bytes()
+	if len(got) != 1 || got[0] != 0b0110_1011 {
+		t.Fatalf("packed byte = %08b, want 01101011", got[0])
+	}
+}
+
+func TestCrossByteBoundary(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0x5, 3)
+	w.WriteBits(0x1FF, 9) // spans bytes
+	w.WriteBits(0xABCD, 16)
+	r := NewReader(w.Bytes(), w.Len())
+	if v, _ := r.ReadBits(3); v != 0x5 {
+		t.Fatalf("first field = %#x, want 0x5", v)
+	}
+	if v, _ := r.ReadBits(9); v != 0x1FF {
+		t.Fatalf("second field = %#x, want 0x1FF", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("third field = %#x, want 0xABCD", v)
+	}
+}
+
+func TestZeroWidthWrite(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xFFFF, 0)
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatalf("zero-width write changed state: len=%d bytes=%d", w.Len(), len(w.Bytes()))
+	}
+}
+
+func TestFullWidth64(t *testing.T) {
+	const v uint64 = 0xDEADBEEFCAFEBABE
+	w := NewWriter(8)
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes(), w.Len())
+	got, err := r.ReadBits(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("roundtrip = %#x, want %#x", got, v)
+	}
+}
+
+func TestMaskingOfHighBits(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(0xFF, 3) // only low 3 bits should land
+	r := NewReader(w.Bytes(), w.Len())
+	v, _ := r.ReadBits(3)
+	if v != 0x7 {
+		t.Fatalf("masked value = %#x, want 0x7", v)
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", w.Len())
+	}
+}
+
+func TestShortRead(t *testing.T) {
+	w := NewWriter(1)
+	w.WriteBits(0b101, 3)
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBits(4); err != ErrShortRead {
+		t.Fatalf("err = %v, want ErrShortRead", err)
+	}
+	// A failed read must not consume bits.
+	v, err := r.ReadBits(3)
+	if err != nil || v != 0b101 {
+		t.Fatalf("after failed read: v=%#b err=%v", v, err)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0xAA, 8)
+	w.WriteBits(0x3, 2)
+	r := NewReader(w.Bytes(), w.Len())
+	if err := r.Skip(8); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := r.ReadBits(2)
+	if v != 0x3 {
+		t.Fatalf("after skip = %#x, want 0x3", v)
+	}
+	if err := r.Skip(1); err != ErrShortRead {
+		t.Fatalf("over-skip err = %v, want ErrShortRead", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatalf("Len after reset = %d", w.Len())
+	}
+	w.WriteBits(0x1, 1)
+	if w.Bytes()[0] != 1 {
+		t.Fatalf("byte after reset = %x, want 1", w.Bytes()[0])
+	}
+}
+
+func TestReaderAllBitsDefault(t *testing.T) {
+	r := NewReader([]byte{0xFF, 0x01}, -1)
+	if r.Remaining() != 16 {
+		t.Fatalf("Remaining = %d, want 16", r.Remaining())
+	}
+}
+
+// TestQuickRoundtrip property: any sequence of variable-width fields written
+// then read back yields the original values.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%50) + 1
+		widths := make([]int, count)
+		values := make([]uint64, count)
+		w := NewWriter(64)
+		for i := range widths {
+			widths[i] = rng.Intn(65)
+			values[i] = rng.Uint64()
+			if widths[i] < 64 {
+				values[i] &= (1 << uint(widths[i])) - 1
+			}
+			w.WriteBits(values[i], widths[i])
+		}
+		r := NewReader(w.Bytes(), w.Len())
+		for i := range widths {
+			v, err := r.ReadBits(widths[i])
+			if err != nil || v != values[i] {
+				return false
+			}
+		}
+		return r.Remaining() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if w.Len() > 1<<18 {
+			w.Reset()
+		}
+		w.WriteBits(uint64(i), 17)
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 16)
+	for i := 0; i < 4096; i++ {
+		w.WriteBits(uint64(i), 17)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(w.Bytes(), w.Len())
+	for i := 0; i < b.N; i++ {
+		if r.Remaining() < 17 {
+			r = NewReader(w.Bytes(), w.Len())
+		}
+		if _, err := r.ReadBits(17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

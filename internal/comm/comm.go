@@ -1,0 +1,240 @@
+// Package comm provides the in-process cluster fabric the distributed
+// training algorithms run on: N nodes exchanging float32 payloads over
+// reliable, ordered point-to-point streams, with TCP/IP-style wire-byte
+// accounting and the paper's ToS-based per-packet compression opt-in.
+//
+// Every outgoing payload passes through a WireProcessor — the software
+// model of the NIC datapath. The default processor forwards payloads
+// verbatim and charges packetized TCP/IP wire bytes. A compressing
+// processor (either the reference codec here or the bit-exact engine model
+// in internal/nic) inspects the ToS byte: packets tagged ToSCompress
+// (0x28, as in the paper's Sec. VI-B) are lossily compressed on the way
+// out and decompressed on the way in, exactly like the FPGA NIC.
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"inceptionn/internal/bitio"
+	"inceptionn/internal/fpcodec"
+)
+
+// ToSCompress is the reserved Type-of-Service value that marks a packet
+// for in-NIC compression (the paper uses 0x28).
+const ToSCompress uint8 = 0x28
+
+// TCP/IP-over-Ethernet framing constants used for wire-byte accounting.
+const (
+	// MTU is the Ethernet maximum transmission unit.
+	MTU = 1500
+	// HeaderBytes is the per-packet overhead: Ethernet (14) + IPv4 (20) +
+	// TCP (20) headers plus Ethernet FCS (4).
+	HeaderBytes = 58
+	// MSS is the TCP payload capacity of one packet.
+	MSS = MTU - 40
+)
+
+// WireBytes returns the on-wire byte count for a TCP payload of n bytes,
+// including per-packet header overhead. Zero-byte payloads still cost one
+// packet (the paper's observation that compression does not reduce packet
+// count below the header floor).
+func WireBytes(n int64) int64 {
+	packets := (n + MSS - 1) / MSS
+	if packets == 0 {
+		packets = 1
+	}
+	return n + packets*HeaderBytes
+}
+
+// WireProcessor models the NIC datapath applied to every sent payload.
+type WireProcessor interface {
+	// Process transforms an outgoing payload: it returns the payload the
+	// receiver observes (lossy if compressed) and the payload bytes that
+	// cross the wire (before per-packet header accounting).
+	Process(payload []float32, tos uint8) (received []float32, payloadBytes int64)
+}
+
+// IdentityProcessor forwards payloads unmodified at full float32 size.
+type IdentityProcessor struct{}
+
+// Process implements WireProcessor.
+func (IdentityProcessor) Process(payload []float32, tos uint8) ([]float32, int64) {
+	return payload, 4 * int64(len(payload))
+}
+
+// CodecProcessor compresses ToSCompress-tagged payloads with the reference
+// INCEPTIONN codec; other traffic passes through untouched. It is the pure
+// software model of the NIC engines (internal/nic provides the bit-exact
+// hardware-pipeline equivalent).
+type CodecProcessor struct {
+	Bound fpcodec.Bound
+}
+
+// Process implements WireProcessor.
+func (p CodecProcessor) Process(payload []float32, tos uint8) ([]float32, int64) {
+	if tos != ToSCompress {
+		return payload, 4 * int64(len(payload))
+	}
+	w := bitio.NewWriter(len(payload)) // compressed streams are ~¼ size or less
+	fpcodec.CompressStream(w, payload, p.Bound)
+	out := make([]float32, len(payload))
+	if err := fpcodec.DecompressStream(bitio.NewReader(w.Bytes(), w.Len()), out, p.Bound); err != nil {
+		// The stream was produced by the matching encoder; failure here is
+		// a programming error, not an I/O condition.
+		panic(fmt.Sprintf("comm: internal codec roundtrip failed: %v", err))
+	}
+	return out, int64(len(w.Bytes()))
+}
+
+// LinkStats accumulates traffic counters for one directed link.
+type LinkStats struct {
+	Messages     atomic.Int64
+	PayloadBytes atomic.Int64 // post-compression payload bytes
+	WireBytes    atomic.Int64 // payload + packet headers
+	RawBytes     atomic.Int64 // pre-compression payload bytes (4·floats)
+}
+
+// message is one in-flight transfer.
+type message struct {
+	payload []float32
+	tag     int
+}
+
+// Fabric connects n nodes with reliable ordered streams and a shared
+// WireProcessor.
+type Fabric struct {
+	n     int
+	proc  WireProcessor
+	chans [][]chan message // chans[src][dst]
+	stats [][]*LinkStats
+}
+
+// NewFabric creates a fabric of n nodes using proc (nil for identity).
+// Streams are deeply buffered, modelling asynchronous sends (MPI_Isend):
+// a send never blocks unless the peer is pathologically far behind.
+func NewFabric(n int, proc WireProcessor) *Fabric {
+	if n < 1 {
+		panic("comm: fabric needs at least one node")
+	}
+	if proc == nil {
+		proc = IdentityProcessor{}
+	}
+	f := &Fabric{n: n, proc: proc}
+	f.chans = make([][]chan message, n)
+	f.stats = make([][]*LinkStats, n)
+	for i := 0; i < n; i++ {
+		f.chans[i] = make([]chan message, n)
+		f.stats[i] = make([]*LinkStats, n)
+		for j := 0; j < n; j++ {
+			f.chans[i][j] = make(chan message, 1024)
+			f.stats[i][j] = &LinkStats{}
+		}
+	}
+	return f
+}
+
+// N returns the number of nodes.
+func (f *Fabric) N() int { return f.n }
+
+// Endpoint returns node id's handle on the fabric.
+func (f *Fabric) Endpoint(id int) *Endpoint {
+	if id < 0 || id >= f.n {
+		panic(fmt.Sprintf("comm: endpoint id %d out of range [0,%d)", id, f.n))
+	}
+	return &Endpoint{f: f, id: id}
+}
+
+// Stats returns the traffic counters of the directed link src→dst.
+func (f *Fabric) Stats(src, dst int) *LinkStats { return f.stats[src][dst] }
+
+// TotalWireBytes sums wire bytes over all links.
+func (f *Fabric) TotalWireBytes() int64 {
+	var total int64
+	for i := range f.stats {
+		for j := range f.stats[i] {
+			total += f.stats[i][j].WireBytes.Load()
+		}
+	}
+	return total
+}
+
+// TotalRawBytes sums pre-compression payload bytes over all links.
+func (f *Fabric) TotalRawBytes() int64 {
+	var total int64
+	for i := range f.stats {
+		for j := range f.stats[i] {
+			total += f.stats[i][j].RawBytes.Load()
+		}
+	}
+	return total
+}
+
+// ResetStats zeroes all traffic counters.
+func (f *Fabric) ResetStats() {
+	for i := range f.stats {
+		for j := range f.stats[i] {
+			s := f.stats[i][j]
+			s.Messages.Store(0)
+			s.PayloadBytes.Store(0)
+			s.WireBytes.Store(0)
+			s.RawBytes.Store(0)
+		}
+	}
+}
+
+// Peer is the transport-independent interface the collective algorithms
+// run over: the in-process Endpoint below implements it, and so does the
+// real-TCP endpoint in internal/tcpfabric.
+type Peer interface {
+	// ID returns this node's id in [0, N).
+	ID() int
+	// N returns the number of nodes.
+	N() int
+	// Send transmits payload to dst with the given ToS and tag.
+	Send(dst int, payload []float32, tos uint8, tag int)
+	// Recv blocks for the next payload from src, which must carry tag.
+	Recv(src int, tag int) []float32
+}
+
+// Endpoint is one node's interface to the fabric.
+type Endpoint struct {
+	f  *Fabric
+	id int
+}
+
+var _ Peer = (*Endpoint)(nil)
+
+// ID returns this endpoint's node id.
+func (e *Endpoint) ID() int { return e.id }
+
+// N returns the number of nodes in the fabric.
+func (e *Endpoint) N() int { return e.f.n }
+
+// Send transmits payload to node dst with the given ToS. The payload is
+// copied through the wire processor, so the caller may reuse its buffer.
+// tag must match the receiver's Recv tag (streams are ordered per link, so
+// tags serve as a protocol assertion rather than reordering).
+func (e *Endpoint) Send(dst int, payload []float32, tos uint8, tag int) {
+	recv, payloadBytes := e.f.proc.Process(payload, tos)
+	if len(payload) > 0 && len(recv) > 0 && &recv[0] == &payload[0] {
+		// Identity path: copy so sender buffer reuse cannot race receiver.
+		recv = append([]float32(nil), payload...)
+	}
+	s := e.f.stats[e.id][dst]
+	s.Messages.Add(1)
+	s.RawBytes.Add(4 * int64(len(payload)))
+	s.PayloadBytes.Add(payloadBytes)
+	s.WireBytes.Add(WireBytes(payloadBytes))
+	e.f.chans[e.id][dst] <- message{payload: recv, tag: tag}
+}
+
+// Recv blocks until a payload arrives from node src and returns it. The
+// message's tag must equal tag.
+func (e *Endpoint) Recv(src int, tag int) []float32 {
+	m := <-e.f.chans[src][e.id]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: node %d expected tag %d from %d, got %d", e.id, tag, src, m.tag))
+	}
+	return m.payload
+}

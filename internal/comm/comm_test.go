@@ -1,0 +1,168 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"inceptionn/internal/fpcodec"
+)
+
+func TestWireBytes(t *testing.T) {
+	cases := []struct {
+		payload, want int64
+	}{
+		{0, HeaderBytes},                    // empty payload still costs a packet
+		{1, 1 + HeaderBytes},                // one packet
+		{MSS, MSS + HeaderBytes},            // exactly one full packet
+		{MSS + 1, MSS + 1 + 2*HeaderBytes},  // spills into a second packet
+		{10 * MSS, 10*MSS + 10*HeaderBytes}, // ten packets
+	}
+	for _, c := range cases {
+		if got := WireBytes(c.payload); got != c.want {
+			t.Errorf("WireBytes(%d) = %d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	f := NewFabric(2, nil)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	go a.Send(1, []float32{1, 2, 3}, 0, 7)
+	got := b.Recv(0, 7)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("received %v", got)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	f := NewFabric(2, nil)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	buf := []float32{1, 2, 3}
+	a.Send(1, buf, 0, 0)
+	buf[0] = 99 // sender reuses its buffer
+	got := b.Recv(0, 0)
+	if got[0] != 1 {
+		t.Fatalf("receiver observed sender mutation: %v", got)
+	}
+}
+
+func TestTagMismatchPanics(t *testing.T) {
+	f := NewFabric(2, nil)
+	f.Endpoint(0).Send(1, []float32{1}, 0, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on tag mismatch")
+		}
+	}()
+	f.Endpoint(1).Recv(0, 6)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	f := NewFabric(2, nil)
+	payload := make([]float32, 1000) // 4000 bytes: 3 packets
+	f.Endpoint(0).Send(1, payload, 0, 0)
+	f.Endpoint(1).Recv(0, 0)
+	s := f.Stats(0, 1)
+	if s.Messages.Load() != 1 {
+		t.Errorf("messages = %d", s.Messages.Load())
+	}
+	if s.RawBytes.Load() != 4000 || s.PayloadBytes.Load() != 4000 {
+		t.Errorf("raw=%d payload=%d", s.RawBytes.Load(), s.PayloadBytes.Load())
+	}
+	wantWire := int64(4000 + 3*HeaderBytes)
+	if s.WireBytes.Load() != wantWire {
+		t.Errorf("wire = %d, want %d", s.WireBytes.Load(), wantWire)
+	}
+	if f.TotalWireBytes() != wantWire || f.TotalRawBytes() != 4000 {
+		t.Errorf("totals: wire=%d raw=%d", f.TotalWireBytes(), f.TotalRawBytes())
+	}
+	f.ResetStats()
+	if f.TotalWireBytes() != 0 {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestCodecProcessorCompressesOnlyToS(t *testing.T) {
+	proc := CodecProcessor{Bound: fpcodec.MustBound(10)}
+	f := NewFabric(2, proc)
+	a, b := f.Endpoint(0), f.Endpoint(1)
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]float32, 8192)
+	for i := range payload {
+		payload[i] = float32(rng.NormFloat64() * 0.001)
+	}
+
+	// Untagged: bytes unchanged, values exact.
+	a.Send(1, payload, 0, 1)
+	got := b.Recv(0, 1)
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatal("untagged payload modified")
+		}
+	}
+	if f.Stats(0, 1).PayloadBytes.Load() != 4*8192 {
+		t.Fatalf("untagged payload bytes = %d", f.Stats(0, 1).PayloadBytes.Load())
+	}
+	f.ResetStats()
+
+	// Tagged: far fewer bytes, values within the error bound.
+	a.Send(1, payload, ToSCompress, 2)
+	got = b.Recv(0, 2)
+	bound := fpcodec.MustBound(10).MaxError()
+	for i := range payload {
+		if math.Abs(float64(got[i])-float64(payload[i])) > bound {
+			t.Fatalf("element %d: |%g-%g| > %g", i, got[i], payload[i], bound)
+		}
+	}
+	compressed := f.Stats(0, 1).PayloadBytes.Load()
+	if compressed >= 4*8192/4 {
+		t.Errorf("compressed payload = %d bytes; expected > 4x reduction on tight gradients", compressed)
+	}
+	if f.Stats(0, 1).RawBytes.Load() != 4*8192 {
+		t.Errorf("raw bytes = %d", f.Stats(0, 1).RawBytes.Load())
+	}
+}
+
+func TestConcurrentPairwiseTraffic(t *testing.T) {
+	const n = 8
+	f := NewFabric(n, nil)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			e := f.Endpoint(id)
+			for round := 0; round < 50; round++ {
+				for peer := 0; peer < n; peer++ {
+					if peer == id {
+						continue
+					}
+					e.Send(peer, []float32{float32(id), float32(round)}, 0, round)
+				}
+				for peer := 0; peer < n; peer++ {
+					if peer == id {
+						continue
+					}
+					m := e.Recv(peer, round)
+					if int(m[0]) != peer || int(m[1]) != round {
+						t.Errorf("node %d: bad message %v from %d round %d", id, m, peer, round)
+						return
+					}
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+func TestEndpointRangeChecks(t *testing.T) {
+	f := NewFabric(2, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Endpoint(2)
+}

@@ -1,0 +1,132 @@
+// Package dgc implements Deep Gradient Compression-style gradient
+// sparsification (Lin et al., ICLR 2018), which the paper discusses as the
+// complementary software approach to communication reduction (Sec. IX):
+// each iteration a worker transmits only the largest-magnitude fraction of
+// its gradient entries, accumulating the unsent remainder locally so no
+// gradient signal is ever lost — merely delayed.
+//
+// The wire encoding is a sparse (index, value) list: 32 bits of index plus
+// 32 bits of value per sent entry, so the compression ratio is n/(2k) for
+// k of n entries sent.
+package dgc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparsifier holds the per-worker residual state.
+type Sparsifier struct {
+	ratio    float64
+	residual []float32
+}
+
+// New returns a sparsifier for gradient vectors of the given size that
+// transmits ceil(ratio·size) entries per round. ratio must be in (0, 1].
+func New(size int, ratio float64) (*Sparsifier, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("dgc: size %d", size)
+	}
+	if !(ratio > 0 && ratio <= 1) {
+		return nil, fmt.Errorf("dgc: ratio %g out of (0,1]", ratio)
+	}
+	return &Sparsifier{ratio: ratio, residual: make([]float32, size)}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(size int, ratio float64) *Sparsifier {
+	s, err := New(size, ratio)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// K returns the number of entries sent per round.
+func (s *Sparsifier) K() int {
+	k := int(s.ratio * float64(len(s.residual)))
+	if k < 1 {
+		k = 1
+	}
+	if k > len(s.residual) {
+		k = len(s.residual)
+	}
+	return k
+}
+
+// Compress accumulates grad into the residual and extracts the K
+// largest-magnitude accumulated entries, zeroing them in the residual.
+// The returned slices are valid until the next call.
+func (s *Sparsifier) Compress(grad []float32) (indices []int32, values []float32) {
+	if len(grad) != len(s.residual) {
+		panic(fmt.Sprintf("dgc: gradient of %d entries, sparsifier built for %d",
+			len(grad), len(s.residual)))
+	}
+	for i, g := range grad {
+		s.residual[i] += g
+	}
+	k := s.K()
+	// Select the k largest |residual| indices.
+	idx := make([]int32, len(s.residual))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	abs := func(v float32) float32 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return abs(s.residual[idx[a]]) > abs(s.residual[idx[b]])
+	})
+	indices = idx[:k]
+	values = make([]float32, k)
+	for i, j := range indices {
+		values[i] = s.residual[j]
+		s.residual[j] = 0
+	}
+	// Deterministic wire order.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return indices[order[a]] < indices[order[b]] })
+	outIdx := make([]int32, k)
+	outVal := make([]float32, k)
+	for i, o := range order {
+		outIdx[i] = indices[o]
+		outVal[i] = values[o]
+	}
+	return outIdx, outVal
+}
+
+// Residual returns the current unsent accumulation (read-only view).
+func (s *Sparsifier) Residual() []float32 { return s.residual }
+
+// Densify scatters a sparse update into out (which is zeroed first).
+func Densify(indices []int32, values []float32, out []float32) {
+	for i := range out {
+		out[i] = 0
+	}
+	for i, j := range indices {
+		out[j] = values[i]
+	}
+}
+
+// AddSparse accumulates a sparse update into out without zeroing.
+func AddSparse(indices []int32, values []float32, out []float32) {
+	for i, j := range indices {
+		out[j] += values[i]
+	}
+}
+
+// CompressedBits returns the wire size of one sparse round: 64 bits per
+// sent entry plus a 32-bit count header.
+func CompressedBits(k int) int64 { return 32 + 64*int64(k) }
+
+// Ratio returns the compression ratio for vectors of n entries.
+func (s *Sparsifier) Ratio() float64 {
+	n := len(s.residual)
+	return float64(32*int64(n)) / float64(CompressedBits(s.K()))
+}

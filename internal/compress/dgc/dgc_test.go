@@ -1,0 +1,191 @@
+package dgc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(100, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		size  int
+		ratio float64
+	}{{0, 0.1}, {10, 0}, {10, -1}, {10, 1.5}} {
+		if _, err := New(c.size, c.ratio); err == nil {
+			t.Errorf("New(%d, %g): expected error", c.size, c.ratio)
+		}
+	}
+}
+
+func TestKBounds(t *testing.T) {
+	if k := MustNew(1000, 0.01).K(); k != 10 {
+		t.Errorf("K = %d, want 10", k)
+	}
+	if k := MustNew(10, 0.001).K(); k != 1 {
+		t.Errorf("tiny ratio K = %d, want 1 (floor)", k)
+	}
+	if k := MustNew(10, 1).K(); k != 10 {
+		t.Errorf("full ratio K = %d, want 10", k)
+	}
+}
+
+func TestSelectsLargestMagnitude(t *testing.T) {
+	s := MustNew(6, 0.34) // k=2
+	grad := []float32{0.1, -5, 0.2, 4, -0.3, 0}
+	idx, vals := s.Compress(grad)
+	if len(idx) != 2 {
+		t.Fatalf("sent %d entries", len(idx))
+	}
+	// Largest magnitudes are -5 (index 1) and 4 (index 3), in index order.
+	if idx[0] != 1 || vals[0] != -5 || idx[1] != 3 || vals[1] != 4 {
+		t.Fatalf("selected %v %v", idx, vals)
+	}
+	// Selected entries zeroed in the residual; others kept.
+	if s.Residual()[1] != 0 || s.Residual()[3] != 0 {
+		t.Error("sent entries not cleared from residual")
+	}
+	if s.Residual()[0] != 0.1 || s.Residual()[4] != -0.3 {
+		t.Error("unsent entries lost from residual")
+	}
+}
+
+// TestNoSignalLost: over any sequence of rounds, sent totals plus the
+// residual equal the accumulated input gradients exactly (DGC's defining
+// conservation property).
+func TestNoSignalLost(t *testing.T) {
+	const n = 50
+	s := MustNew(n, 0.1)
+	rng := rand.New(rand.NewSource(1))
+	totalIn := make([]float64, n)
+	totalSent := make([]float64, n)
+	for round := 0; round < 40; round++ {
+		grad := make([]float32, n)
+		for i := range grad {
+			grad[i] = float32(rng.Intn(9) - 4) // integers: exact float math
+			totalIn[i] += float64(grad[i])
+		}
+		idx, vals := s.Compress(grad)
+		for i, j := range idx {
+			totalSent[j] += float64(vals[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if totalSent[i]+float64(s.Residual()[i]) != totalIn[i] {
+			t.Fatalf("entry %d: sent %g + residual %g != input %g",
+				i, totalSent[i], s.Residual()[i], totalIn[i])
+		}
+	}
+}
+
+func TestDensifyAndAddSparse(t *testing.T) {
+	out := []float32{9, 9, 9, 9}
+	Densify([]int32{1, 3}, []float32{5, -2}, out)
+	want := []float32{0, 5, 0, -2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Densify: %v", out)
+		}
+	}
+	AddSparse([]int32{0, 1}, []float32{1, 1}, out)
+	if out[0] != 1 || out[1] != 6 {
+		t.Fatalf("AddSparse: %v", out)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	s := MustNew(100000, 0.001) // k=100: 32 + 6400 bits vs 3.2e6 bits
+	want := float64(32*100000) / float64(32+64*100)
+	if r := s.Ratio(); math.Abs(r-want) > 1e-9 {
+		t.Errorf("Ratio = %g, want %g", r, want)
+	}
+}
+
+func TestCompressPanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(4, 0.5).Compress(make([]float32, 5))
+}
+
+// TestSGDConvergesWithSparsification: a quadratic optimized with only the
+// top-10% gradient entries per step still converges thanks to residual
+// accumulation.
+func TestSGDConvergesWithSparsification(t *testing.T) {
+	const n = 20
+	target := make([]float32, n)
+	for i := range target {
+		target[i] = float32(i%5) - 2
+	}
+	w := make([]float32, n)
+	s := MustNew(n, 0.1)
+	grad := make([]float32, n)
+	dense := make([]float32, n)
+	for iter := 0; iter < 3000; iter++ {
+		for i := range grad {
+			grad[i] = w[i] - target[i]
+		}
+		idx, vals := s.Compress(grad)
+		Densify(idx, vals, dense)
+		// Each coordinate is updated only every ~1/ratio steps, with an
+		// accumulated (therefore ~1/ratio times larger) gradient; the
+		// learning rate must absorb that factor to stay stable.
+		for i := range w {
+			w[i] -= 0.05 * dense[i]
+		}
+	}
+	for i := range w {
+		if math.Abs(float64(w[i]-target[i])) > 1e-2 {
+			t.Fatalf("w[%d] = %g, want %g", i, w[i], target[i])
+		}
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64, rounds uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 2
+		s := MustNew(n, 0.2)
+		in := make([]float64, n)
+		sent := make([]float64, n)
+		for r := 0; r < int(rounds%20)+1; r++ {
+			grad := make([]float32, n)
+			for i := range grad {
+				grad[i] = float32(rng.Intn(21) - 10)
+				in[i] += float64(grad[i])
+			}
+			idx, vals := s.Compress(grad)
+			for i, j := range idx {
+				sent[j] += float64(vals[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			if sent[i]+float64(s.Residual()[i]) != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress64K(b *testing.B) {
+	s := MustNew(64*1024, 0.001)
+	rng := rand.New(rand.NewSource(1))
+	grad := make([]float32, 64*1024)
+	for i := range grad {
+		grad[i] = float32(rng.NormFloat64() * 0.01)
+	}
+	b.SetBytes(int64(4 * len(grad)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compress(grad)
+	}
+}

@@ -1,0 +1,36 @@
+package lz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundtrip: Encode→Decode must be the identity for any input.
+func FuzzRoundtrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte{0}, 300))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Encode(nil, src)
+		if len(enc) > MaxEncodedLen(len(src)) {
+			t.Fatalf("encoded %d bytes > MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+		}
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("roundtrip mismatch: %d vs %d bytes", len(dec), len(src))
+		}
+	})
+}
+
+// FuzzDecodeArbitrary: the decoder must never panic on hostile input.
+func FuzzDecodeArbitrary(f *testing.F) {
+	f.Add([]byte{4, 0x01, 1, 4})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		// Errors are fine; panics are not (the test harness catches them).
+		_, _ = Decode(nil, src)
+	})
+}

@@ -1,0 +1,197 @@
+// Package quant implements the algorithmic gradient-quantization baselines
+// the paper cites as related work (Sec. IX): QSGD (Alistarh et al., NIPS
+// 2017) and TernGrad (Wen et al., NIPS 2017). They are *software-level*
+// gradient reduction techniques — useful comparison points for the
+// INCEPTIONN codec's ratio/accuracy trade-off and for the ablation benches.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"inceptionn/internal/bitio"
+)
+
+// QSGD performs stochastic uniform quantization with s levels per sign,
+// scaled by the L2 norm of the vector. Quantization is unbiased:
+// E[Dequantize(Quantize(v))] = v.
+type QSGD struct {
+	levels int
+}
+
+// NewQSGD returns a QSGD quantizer with s levels; s must be in [1, 255].
+func NewQSGD(s int) (QSGD, error) {
+	if s < 1 || s > 255 {
+		return QSGD{}, fmt.Errorf("quant: QSGD levels %d out of range [1,255]", s)
+	}
+	return QSGD{levels: s}, nil
+}
+
+// MustQSGD is NewQSGD that panics on error.
+func MustQSGD(s int) QSGD {
+	q, err := NewQSGD(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Levels returns the number of quantization levels per sign.
+func (q QSGD) Levels() int { return q.levels }
+
+// levelBits is the per-element payload: 1 sign bit + ceil(log2(levels+1)).
+func (q QSGD) levelBits() int {
+	return 1 + bitsFor(q.levels)
+}
+
+func bitsFor(n int) int {
+	b := 0
+	for 1<<uint(b) <= n {
+		b++
+	}
+	return b
+}
+
+// Quantize encodes src into w: a 32-bit L2 norm followed by per-element
+// sign and stochastic level. rng supplies the randomness (deterministic
+// tests pass a seeded source).
+func (q QSGD) Quantize(w *bitio.Writer, src []float32, rng *rand.Rand) {
+	var norm float64
+	for _, v := range src {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+	w.WriteBits(uint64(math.Float32bits(float32(norm))), 32)
+	if norm == 0 {
+		// All elements are zero; sign/level bits still keep the decoder in
+		// lockstep but decode to zero.
+		norm = 1
+	}
+	lb := bitsFor(q.levels)
+	s := float64(q.levels)
+	for _, v := range src {
+		sign := uint64(0)
+		if math.Signbit(float64(v)) {
+			sign = 1
+		}
+		x := math.Abs(float64(v)) / norm * s // in [0, s]
+		lo := math.Floor(x)
+		level := lo
+		if rng.Float64() < x-lo {
+			level = lo + 1
+		}
+		if level > s {
+			level = s
+		}
+		w.WriteBit(uint(sign))
+		w.WriteBits(uint64(level), lb)
+	}
+}
+
+// Dequantize decodes len(dst) values from r.
+func (q QSGD) Dequantize(r *bitio.Reader, dst []float32) error {
+	raw, err := r.ReadBits(32)
+	if err != nil {
+		return fmt.Errorf("quant: QSGD norm: %w", err)
+	}
+	norm := float64(math.Float32frombits(uint32(raw)))
+	lb := bitsFor(q.levels)
+	s := float64(q.levels)
+	for i := range dst {
+		sign, err := r.ReadBit()
+		if err != nil {
+			return fmt.Errorf("quant: QSGD element %d sign: %w", i, err)
+		}
+		lvl, err := r.ReadBits(lb)
+		if err != nil {
+			return fmt.Errorf("quant: QSGD element %d level: %w", i, err)
+		}
+		v := norm * float64(lvl) / s
+		if sign == 1 {
+			v = -v
+		}
+		dst[i] = float32(v)
+	}
+	return nil
+}
+
+// CompressedBits returns the encoded size of n elements in bits.
+func (q QSGD) CompressedBits(n int) int64 {
+	return 32 + int64(n)*int64(q.levelBits())
+}
+
+// Ratio returns the fixed compression ratio for n elements.
+func (q QSGD) Ratio(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(32*int64(n)) / float64(q.CompressedBits(n))
+}
+
+// TernGrad quantizes each element stochastically to {-1, 0, +1} scaled by
+// the max magnitude of the vector. Encoding costs 2 bits per element plus a
+// 32-bit scale. Quantization is unbiased.
+type TernGrad struct{}
+
+// Quantize encodes src into w.
+func (TernGrad) Quantize(w *bitio.Writer, src []float32, rng *rand.Rand) {
+	var scale float64
+	for _, v := range src {
+		if a := math.Abs(float64(v)); a > scale {
+			scale = a
+		}
+	}
+	w.WriteBits(uint64(math.Float32bits(float32(scale))), 32)
+	div := scale
+	if div == 0 {
+		div = 1
+	}
+	for _, v := range src {
+		var code uint64 // 0b00 zero, 0b01 +1, 0b11 -1
+		p := math.Abs(float64(v)) / div
+		if rng.Float64() < p {
+			if math.Signbit(float64(v)) {
+				code = 0b11
+			} else {
+				code = 0b01
+			}
+		}
+		w.WriteBits(code, 2)
+	}
+}
+
+// Dequantize decodes len(dst) values from r.
+func (TernGrad) Dequantize(r *bitio.Reader, dst []float32) error {
+	raw, err := r.ReadBits(32)
+	if err != nil {
+		return fmt.Errorf("quant: TernGrad scale: %w", err)
+	}
+	scale := float64(math.Float32frombits(uint32(raw)))
+	for i := range dst {
+		code, err := r.ReadBits(2)
+		if err != nil {
+			return fmt.Errorf("quant: TernGrad element %d: %w", i, err)
+		}
+		switch code {
+		case 0b01:
+			dst[i] = float32(scale)
+		case 0b11:
+			dst[i] = float32(-scale)
+		default:
+			dst[i] = 0
+		}
+	}
+	return nil
+}
+
+// CompressedBits returns the encoded size of n elements in bits.
+func (TernGrad) CompressedBits(n int) int64 { return 32 + 2*int64(n) }
+
+// Ratio returns the fixed compression ratio for n elements.
+func (TernGrad) Ratio(n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(32*int64(n)) / float64(TernGrad{}.CompressedBits(n))
+}

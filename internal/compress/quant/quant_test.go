@@ -1,0 +1,198 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inceptionn/internal/bitio"
+)
+
+func TestQSGDValidation(t *testing.T) {
+	for _, s := range []int{1, 4, 255} {
+		if _, err := NewQSGD(s); err != nil {
+			t.Errorf("NewQSGD(%d): %v", s, err)
+		}
+	}
+	for _, s := range []int{0, -1, 256} {
+		if _, err := NewQSGD(s); err == nil {
+			t.Errorf("NewQSGD(%d): expected error", s)
+		}
+	}
+}
+
+func TestQSGDRoundtripShape(t *testing.T) {
+	q := MustQSGD(4)
+	rng := rand.New(rand.NewSource(1))
+	src := []float32{0.5, -0.25, 0, 1.5, -0.001, 0.9}
+	w := bitio.NewWriter(64)
+	q.Quantize(w, src, rng)
+	if int64(w.Len()) != q.CompressedBits(len(src)) {
+		t.Fatalf("wrote %d bits, want %d", w.Len(), q.CompressedBits(len(src)))
+	}
+	dst := make([]float32, len(src))
+	if err := q.Dequantize(bitio.NewReader(w.Bytes(), w.Len()), dst); err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for _, v := range src {
+		norm += float64(v) * float64(v)
+	}
+	norm = math.Sqrt(norm)
+	for i := range dst {
+		if math.Abs(float64(dst[i])) > norm+1e-6 {
+			t.Errorf("element %d: |%g| exceeds norm %g", i, dst[i], norm)
+		}
+		if src[i] == 0 && dst[i] != 0 {
+			// A zero element has x=0 so the stochastic level is always 0.
+			t.Errorf("element %d: zero input decoded to %g", i, dst[i])
+		}
+		if dst[i] != 0 && math.Signbit(float64(dst[i])) != math.Signbit(float64(src[i])) {
+			t.Errorf("element %d: sign flip %g -> %g", i, src[i], dst[i])
+		}
+	}
+}
+
+func TestQSGDUnbiased(t *testing.T) {
+	// Average many independent quantizations: the mean must approach the
+	// input (QSGD's defining property).
+	q := MustQSGD(4)
+	rng := rand.New(rand.NewSource(2))
+	src := []float32{0.3, -0.7, 0.05, 0.0, -0.11}
+	const trials = 20000
+	sum := make([]float64, len(src))
+	dst := make([]float32, len(src))
+	w := bitio.NewWriter(64)
+	for trial := 0; trial < trials; trial++ {
+		w.Reset()
+		q.Quantize(w, src, rng)
+		if err := q.Dequantize(bitio.NewReader(w.Bytes(), w.Len()), dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			sum[i] += float64(v)
+		}
+	}
+	for i := range src {
+		mean := sum[i] / trials
+		if math.Abs(mean-float64(src[i])) > 0.01 {
+			t.Errorf("element %d: mean %g, want %g", i, mean, src[i])
+		}
+	}
+}
+
+func TestQSGDAllZeros(t *testing.T) {
+	q := MustQSGD(8)
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float32, 16)
+	w := bitio.NewWriter(16)
+	q.Quantize(w, src, rng)
+	dst := make([]float32, 16)
+	if err := q.Dequantize(bitio.NewReader(w.Bytes(), w.Len()), dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		if v != 0 {
+			t.Errorf("element %d = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestQSGDRatio(t *testing.T) {
+	// s=1: 1 sign + 1 level bit = 2 bits/elem -> ratio near 16 for large n.
+	q := MustQSGD(1)
+	if r := q.Ratio(100000); math.Abs(r-16) > 0.1 {
+		t.Errorf("QSGD(1) ratio = %g, want ~16", r)
+	}
+	if r := q.Ratio(0); r != 0 {
+		t.Errorf("Ratio(0) = %g", r)
+	}
+}
+
+func TestTernGradRoundtripValues(t *testing.T) {
+	var tg TernGrad
+	rng := rand.New(rand.NewSource(4))
+	src := []float32{0.9, -0.9, 0.0, 0.45, -0.1}
+	w := bitio.NewWriter(16)
+	tg.Quantize(w, src, rng)
+	if int64(w.Len()) != tg.CompressedBits(len(src)) {
+		t.Fatalf("wrote %d bits, want %d", w.Len(), tg.CompressedBits(len(src)))
+	}
+	dst := make([]float32, len(src))
+	if err := tg.Dequantize(bitio.NewReader(w.Bytes(), w.Len()), dst); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dst {
+		a := math.Abs(float64(v))
+		if a != 0 && math.Abs(a-0.9) > 1e-6 {
+			t.Errorf("element %d = %g: magnitude must be 0 or scale 0.9", i, v)
+		}
+		if v != 0 && math.Signbit(float64(v)) != math.Signbit(float64(src[i])) {
+			t.Errorf("element %d: sign flip %g -> %g", i, src[i], v)
+		}
+	}
+	if dst[2] != 0 {
+		t.Errorf("zero element decoded to %g", dst[2])
+	}
+}
+
+func TestTernGradUnbiased(t *testing.T) {
+	var tg TernGrad
+	rng := rand.New(rand.NewSource(5))
+	src := []float32{0.6, -0.2, 0.05}
+	const trials = 20000
+	sum := make([]float64, len(src))
+	dst := make([]float32, len(src))
+	w := bitio.NewWriter(8)
+	for trial := 0; trial < trials; trial++ {
+		w.Reset()
+		tg.Quantize(w, src, rng)
+		if err := tg.Dequantize(bitio.NewReader(w.Bytes(), w.Len()), dst); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			sum[i] += float64(v)
+		}
+	}
+	for i := range src {
+		mean := sum[i] / trials
+		if math.Abs(mean-float64(src[i])) > 0.015 {
+			t.Errorf("element %d: mean %g, want %g", i, mean, src[i])
+		}
+	}
+}
+
+func TestTernGradRatio(t *testing.T) {
+	var tg TernGrad
+	if r := tg.Ratio(1000000); math.Abs(r-16) > 0.01 {
+		t.Errorf("TernGrad ratio = %g, want ~16", r)
+	}
+}
+
+func TestDequantizeShortStream(t *testing.T) {
+	q := MustQSGD(4)
+	dst := make([]float32, 4)
+	if err := q.Dequantize(bitio.NewReader([]byte{1, 2}, -1), dst); err == nil {
+		t.Error("QSGD: expected error on short stream")
+	}
+	var tg TernGrad
+	if err := tg.Dequantize(bitio.NewReader([]byte{1, 2}, -1), dst); err == nil {
+		t.Error("TernGrad: expected error on short stream")
+	}
+}
+
+func BenchmarkQSGDQuantize(b *testing.B) {
+	q := MustQSGD(4)
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float32, 64*1024)
+	for i := range src {
+		src[i] = float32(rng.NormFloat64() * 0.01)
+	}
+	w := bitio.NewWriter(4 * len(src))
+	b.SetBytes(int64(4 * len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		q.Quantize(w, src, rng)
+	}
+}

@@ -1,0 +1,143 @@
+// Package core is the top-level facade of the INCEPTIONN reproduction: it
+// bundles the three co-designed pieces of the paper — the lossy gradient
+// codec (internal/fpcodec), its in-NIC accelerator model (internal/nic),
+// and the gradient-centric aggregator-free training algorithm
+// (internal/ring, driven by internal/train) — behind one configuration
+// object, the way a downstream user would consume the system.
+package core
+
+import (
+	"fmt"
+
+	"inceptionn/internal/bitio"
+	"inceptionn/internal/comm"
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/models"
+	"inceptionn/internal/nic"
+	"inceptionn/internal/opt"
+	"inceptionn/internal/train"
+	"inceptionn/internal/trainsim"
+)
+
+// Config selects the system variant.
+type Config struct {
+	// ErrorBoundExp is the codec's absolute error bound exponent E (bound
+	// 2^-E). The paper evaluates 6, 8 and 10.
+	ErrorBoundExp int
+	// Workers is the worker-group size (the paper's building block is 4).
+	Workers int
+	// UseNICEngines routes traffic through the bit-exact hardware engine
+	// model instead of the reference software codec. Both paths produce
+	// identical bytes; the engine path also accounts hardware cycles.
+	UseNICEngines bool
+	// Compress enables in-network gradient compression (the "+C" in the
+	// paper's system names).
+	Compress bool
+}
+
+// DefaultConfig returns the paper's primary configuration: four workers,
+// NIC engines on, error bound 2^-10, compression enabled.
+func DefaultConfig() Config {
+	return Config{ErrorBoundExp: 10, Workers: 4, UseNICEngines: true, Compress: true}
+}
+
+// System is a configured INCEPTIONN instance.
+type System struct {
+	cfg   Config
+	bound fpcodec.Bound
+	proc  comm.WireProcessor
+}
+
+// New validates cfg and constructs a System.
+func New(cfg Config) (*System, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("core: %d workers", cfg.Workers)
+	}
+	bound, err := fpcodec.NewBound(cfg.ErrorBoundExp)
+	if err != nil {
+		return nil, err
+	}
+	var proc comm.WireProcessor
+	if cfg.UseNICEngines {
+		proc = nic.Processor{Bound: bound}
+	} else {
+		proc = comm.CodecProcessor{Bound: bound}
+	}
+	return &System{cfg: cfg, bound: bound, proc: proc}, nil
+}
+
+// Bound returns the codec error bound.
+func (s *System) Bound() fpcodec.Bound { return s.bound }
+
+// Processor returns the NIC datapath model for use with comm.NewFabric.
+func (s *System) Processor() comm.WireProcessor { return s.proc }
+
+// Compress encodes a gradient vector with the system's codec, returning
+// the packed bytes and the exact bit length.
+func (s *System) Compress(grad []float32) ([]byte, int) {
+	w := bitio.NewWriter(len(grad))
+	fpcodec.CompressStream(w, grad, s.bound)
+	return w.Bytes(), w.Len()
+}
+
+// Decompress decodes count values from a stream produced by Compress.
+func (s *System) Decompress(data []byte, bits, count int) ([]float32, error) {
+	out := make([]float32, count)
+	err := fpcodec.DecompressStream(bitio.NewReader(data, bits), out, s.bound)
+	return out, err
+}
+
+// Ratio returns the compression ratio the codec achieves on grad.
+func (s *System) Ratio(grad []float32) float64 {
+	return fpcodec.Ratio(grad, s.bound)
+}
+
+// TrainOptions returns training options wired to this system: the ring
+// algorithm, the configured NIC datapath, and the model's Table I
+// hyperparameters.
+func (s *System) TrainOptions(spec models.Spec, batchPerNode int) train.Options {
+	if batchPerNode <= 0 {
+		batchPerNode = spec.Hyper.BatchPerNode
+	}
+	return train.Options{
+		Workers:      s.cfg.Workers,
+		Algo:         train.Ring,
+		BatchPerNode: batchPerNode,
+		Schedule: opt.StepSchedule{
+			Base:   spec.Hyper.LR,
+			Factor: spec.Hyper.LRFactor,
+			Every:  spec.Hyper.LREvery,
+		},
+		Momentum:    spec.Hyper.Momentum,
+		WeightDecay: spec.Hyper.WeightDecay,
+		Processor:   s.proc,
+		Compress:    s.cfg.Compress,
+	}
+}
+
+// Estimate returns the simulated per-iteration time of this configuration
+// on the full-size model spec, using the Table-II-calibrated simulator.
+func (s *System) Estimate(spec models.Spec) trainsim.Breakdown {
+	c := trainsim.Default()
+	c.Workers = s.cfg.Workers
+	c.BoundExp = s.cfg.ErrorBoundExp
+	sys := trainsim.INC
+	if s.cfg.Compress {
+		sys = trainsim.INCC
+	}
+	return c.IterTime(sys, spec)
+}
+
+// Summary describes the system configuration.
+func (s *System) Summary() string {
+	engine := "reference codec"
+	if s.cfg.UseNICEngines {
+		engine = "NIC engine model"
+	}
+	comp := "off"
+	if s.cfg.Compress {
+		comp = "on"
+	}
+	return fmt.Sprintf("INCEPTIONN: %d workers, bound %v, %s, compression %s",
+		s.cfg.Workers, s.bound, engine, comp)
+}

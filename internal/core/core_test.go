@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"inceptionn/internal/data"
+	"inceptionn/internal/models"
+	"inceptionn/internal/train"
+	"inceptionn/internal/trainsim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig()
+	bad.Workers = 0
+	if _, err := New(bad); err == nil {
+		t.Error("expected error for zero workers")
+	}
+	bad = DefaultConfig()
+	bad.ErrorBoundExp = 99
+	if _, err := New(bad); err == nil {
+		t.Error("expected error for invalid bound")
+	}
+}
+
+func TestCompressDecompressRoundtrip(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	grad := make([]float32, 1000)
+	for i := range grad {
+		grad[i] = float32(rng.NormFloat64() * 0.01)
+	}
+	dataBytes, bits := s.Compress(grad)
+	out, err := s.Decompress(dataBytes, bits, len(grad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range grad {
+		if math.Abs(float64(out[i])-float64(grad[i])) > s.Bound().MaxError() {
+			t.Fatalf("value %d exceeds bound", i)
+		}
+	}
+	if r := s.Ratio(grad); r < 2 {
+		t.Errorf("ratio = %g on tight gradients", r)
+	}
+}
+
+func TestEnginesAndCodecAgree(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UseNICEngines = true
+	a, _ := New(cfg)
+	cfg.UseNICEngines = false
+	b, _ := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	grad := make([]float32, 512)
+	for i := range grad {
+		grad[i] = float32(rng.NormFloat64() * 0.05)
+	}
+	outA, bytesA := a.Processor().Process(grad, 0x28)
+	outB, bytesB := b.Processor().Process(grad, 0x28)
+	if bytesA != bytesB {
+		t.Fatalf("wire bytes differ: %d vs %d", bytesA, bytesB)
+	}
+	for i := range outA {
+		if outA[i] != outB[i] {
+			t.Fatalf("value %d differs between engine and codec paths", i)
+		}
+	}
+}
+
+func TestTrainOptionsWiring(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	o := s.TrainOptions(models.HDC, 0)
+	if o.BatchPerNode != models.HDC.Hyper.BatchPerNode {
+		t.Errorf("batch = %d, want Table I default %d", o.BatchPerNode, models.HDC.Hyper.BatchPerNode)
+	}
+	if o.Algo != train.Ring || !o.Compress || o.Processor == nil {
+		t.Error("options not wired to the INCEPTIONN configuration")
+	}
+	o = s.TrainOptions(models.HDC, 8)
+	if o.BatchPerNode != 8 {
+		t.Errorf("batch override = %d", o.BatchPerNode)
+	}
+}
+
+func TestEndToEndTrainingThroughFacade(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := s.TrainOptions(models.HDC, 16)
+	o.Schedule.Base = 0.02
+	o.Seed = 7
+	trainDS := data.NewDigits(2000, 3)
+	testDS := data.NewDigits(400, 90)
+	res, err := train.Run(models.NewHDCSmall, trainDS, testDS, 120, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.85 {
+		t.Fatalf("facade training accuracy = %.3f", res.FinalAcc)
+	}
+	if res.WireBytes >= res.RawBytes {
+		t.Error("compression had no effect on traffic")
+	}
+}
+
+func TestEstimate(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	est := s.Estimate(models.AlexNet)
+	if est.Total() <= 0 || est.Exchange <= 0 {
+		t.Fatalf("estimate %+v", est)
+	}
+	// The full system estimate must beat the WA baseline estimate.
+	wa := trainsim.Default().IterTime(trainsim.WA, models.AlexNet)
+	if est.Total() >= wa.Total() {
+		t.Errorf("INC+C estimate %.3f not faster than WA %.3f", est.Total(), wa.Total())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s, _ := New(DefaultConfig())
+	sum := s.Summary()
+	for _, want := range []string{"4 workers", "2^-10", "NIC engine", "compression on"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary %q missing %q", sum, want)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Package costmodel implements the analytical collective-communication
+// cost model the paper adopts (Sec. VIII-D, after Thakur et al., IJHPCA
+// 2005) to explain the scalability results of Fig. 15:
+//
+//	T_WA  = (1 + log₂ p)·α + (p + log₂ p)·n·β + (p − 1)·n·γ
+//	T_INC = 2(p − 1)·α + 2·((p − 1)/p)·n·β + ((p − 1)/p)·n·γ
+//
+// where p is the number of workers, α the per-message link latency, n the
+// model size in bytes, β the per-byte transfer time, and γ the per-byte
+// sum-reduction time. The WA time grows linearly in p (both communication
+// and summation congest the aggregator) while in T_INC the p-dependence
+// cancels as p grows, which is why the INCEPTIONN exchange stays flat in
+// Fig. 15.
+package costmodel
+
+import "math"
+
+// Params are the α/β/γ constants of the model.
+type Params struct {
+	Alpha float64 // link latency per message (s)
+	Beta  float64 // per-byte transfer time (s/B)
+	Gamma float64 // per-byte sum-reduction time (s/B)
+}
+
+// Default10GbE returns parameters for a 10 Gb Ethernet cluster with
+// CPU-side summation, matching the paper's testbed scale: α = 30 µs,
+// β = 1/(10 Gb/s), γ = 1/(8 GB/s).
+func Default10GbE() Params {
+	return Params{
+		Alpha: 30e-6,
+		Beta:  8.0 / 10e9, // seconds per byte at 10 Gb/s
+		Gamma: 1.0 / 8e9,  // seconds per byte at 8 GB/s summation
+	}
+}
+
+// WorkerAggregator returns T_WA for p workers and n model bytes.
+func (c Params) WorkerAggregator(p int, n int64) float64 {
+	logp := math.Log2(float64(p))
+	nf := float64(n)
+	return (1+logp)*c.Alpha + (float64(p)+logp)*nf*c.Beta + float64(p-1)*nf*c.Gamma
+}
+
+// Ring returns T_INC for p workers and n model bytes.
+func (c Params) Ring(p int, n int64) float64 {
+	pf := float64(p)
+	nf := float64(n)
+	frac := (pf - 1) / pf
+	return 2*(pf-1)*c.Alpha + 2*frac*nf*c.Beta + frac*nf*c.Gamma
+}
+
+// Speedup returns T_WA / T_INC.
+func (c Params) Speedup(p int, n int64) float64 {
+	return c.WorkerAggregator(p, n) / c.Ring(p, n)
+}
+
+// RingAsymptote returns the p→∞ limit of T_INC's bandwidth terms,
+// 2nβ + nγ, showing the exchange time saturates instead of growing.
+func (c Params) RingAsymptote(n int64) float64 {
+	return 2*float64(n)*c.Beta + float64(n)*c.Gamma
+}

@@ -1,0 +1,421 @@
+// Package eventsim is a discrete-event, fluid-flow network simulator used
+// to validate the closed-form timing model in internal/netsim. Nodes hang
+// off a non-blocking switch through full-duplex links; concurrent flows
+// share link capacity max-min fairly, each additionally capped by a
+// per-stream rate (TCP single-stream goodput). Flows can depend on other
+// flows (plus a fixed compute delay), which expresses both the
+// worker-aggregator phases and the ring exchange's step pipeline as flow
+// DAGs.
+//
+// The simulation advances between rate-change events (flow arrivals and
+// completions), recomputing the max-min fair allocation at each event by
+// water-filling. With tens of flows per iteration this is exact and fast.
+package eventsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describe the simulated cluster (compare netsim.Params; the
+// per-packet stack cost is intentionally absent — this simulator validates
+// the pure bandwidth/latency behaviour).
+type Params struct {
+	LineRate  float64 // link capacity per direction, bytes/s
+	StreamCap float64 // per-flow rate ceiling, bytes/s
+	Latency   float64 // propagation per node-switch-node path, seconds
+}
+
+// FlowID identifies a scheduled flow.
+type FlowID int
+
+type flow struct {
+	src, dst int
+	bytes    float64
+	deps     []FlowID
+	delay    float64
+
+	ready     float64 // activation time (resolved during Run)
+	remaining float64
+	done      float64 // delivery time (transfer end + latency)
+	active    bool
+	finished  bool
+	rate      float64
+}
+
+// Sim is one simulation instance.
+type Sim struct {
+	p     Params
+	nodes int
+	flows []*flow
+}
+
+// New returns a simulator over the given node count.
+func New(p Params, nodes int) *Sim {
+	if nodes < 1 || p.LineRate <= 0 || p.StreamCap <= 0 {
+		panic(fmt.Sprintf("eventsim: invalid setup nodes=%d %+v", nodes, p))
+	}
+	return &Sim{p: p, nodes: nodes}
+}
+
+// AddFlow schedules a transfer of bytes from src to dst that starts delay
+// seconds after every dependency has been *delivered*. It returns the
+// flow's id. Zero-byte flows act as pure synchronization/delay points.
+func (s *Sim) AddFlow(src, dst int, bytes float64, deps []FlowID, delay float64) FlowID {
+	if src < 0 || src >= s.nodes || dst < 0 || dst >= s.nodes {
+		panic(fmt.Sprintf("eventsim: flow %d->%d outside %d nodes", src, dst, s.nodes))
+	}
+	if bytes < 0 || delay < 0 {
+		panic("eventsim: negative bytes or delay")
+	}
+	f := &flow{src: src, dst: dst, bytes: bytes, deps: append([]FlowID(nil), deps...), delay: delay}
+	s.flows = append(s.flows, f)
+	return FlowID(len(s.flows) - 1)
+}
+
+// Run executes the simulation and returns each flow's delivery time.
+// It may be called once per Sim.
+func (s *Sim) Run() []float64 {
+	// Resolve activation times; dependencies must be earlier flow ids
+	// (a DAG in insertion order).
+	for i, f := range s.flows {
+		ready := 0.0
+		for _, d := range f.deps {
+			if int(d) >= i {
+				panic(fmt.Sprintf("eventsim: flow %d depends on later flow %d", i, d))
+			}
+		}
+		f.ready = ready // finalized below once deps complete
+		f.remaining = f.bytes
+	}
+
+	now := 0.0
+	resolved := make([]bool, len(s.flows)) // activation time known
+	started := make([]bool, len(s.flows))
+
+	resolveReady := func() {
+		for i, f := range s.flows {
+			if resolved[i] {
+				continue
+			}
+			ready := 0.0
+			ok := true
+			for _, d := range f.deps {
+				df := s.flows[d]
+				if !df.finished {
+					ok = false
+					break
+				}
+				if df.done > ready {
+					ready = df.done
+				}
+			}
+			if ok {
+				f.ready = ready + f.delay
+				resolved[i] = true
+			}
+		}
+	}
+	resolveReady()
+
+	for {
+		// Activate flows whose time has come.
+		for i, f := range s.flows {
+			if resolved[i] && !started[i] && f.ready <= now+1e-15 {
+				started[i] = true
+				if f.remaining == 0 {
+					f.finished = true
+					f.done = now + s.p.Latency
+					resolveReady()
+				} else {
+					f.active = true
+				}
+			}
+		}
+
+		s.allocateRates()
+
+		// Next event: earliest pending activation or earliest completion.
+		next := math.Inf(1)
+		for i, f := range s.flows {
+			if resolved[i] && !started[i] && f.ready < next {
+				next = f.ready
+			}
+			if f.active && f.rate > 0 {
+				if t := now + f.remaining/f.rate; t < next {
+					next = t
+				}
+			}
+		}
+		if math.IsInf(next, 1) {
+			break // nothing running, nothing pending
+		}
+
+		// Advance and drain. The finish threshold is relative to the flow
+		// size: with 10^8-byte flows, float64 subtraction leaves residues
+		// far above any absolute epsilon, which would otherwise stall the
+		// clock (dt underflows to zero).
+		dt := next - now
+		now = next
+		for _, f := range s.flows {
+			if f.active {
+				f.remaining -= f.rate * dt
+				if f.remaining <= 1e-9*(1+f.bytes) {
+					f.remaining = 0
+					f.active = false
+					f.finished = true
+					f.done = now + s.p.Latency
+				}
+			}
+		}
+		resolveReady()
+	}
+
+	out := make([]float64, len(s.flows))
+	allDone := true
+	for i, f := range s.flows {
+		if !f.finished {
+			allDone = false
+		}
+		out[i] = f.done
+	}
+	if !allDone {
+		panic("eventsim: deadlocked dependency graph")
+	}
+	return out
+}
+
+// allocateRates computes the max-min fair allocation for active flows by
+// water-filling over uplink and downlink capacities with per-flow caps.
+func (s *Sim) allocateRates() {
+	type link struct {
+		capacity float64
+		flows    []*flow
+	}
+	links := make(map[int]*link) // key: +node uplink, -node-1 downlink
+	var active []*flow
+	for _, f := range s.flows {
+		if !f.active {
+			continue
+		}
+		active = append(active, f)
+		f.rate = -1 // unfrozen
+		for _, key := range []int{f.src + 1, -(f.dst + 1)} {
+			l := links[key]
+			if l == nil {
+				l = &link{capacity: s.p.LineRate}
+				links[key] = l
+			}
+			l.flows = append(l.flows, f)
+		}
+	}
+	unfrozen := len(active)
+	for unfrozen > 0 {
+		// Bottleneck share: the smallest of the per-link fair shares and
+		// the stream cap.
+		share := s.p.StreamCap
+		for _, l := range links {
+			n := 0
+			for _, f := range l.flows {
+				if f.rate < 0 {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if fair := l.capacity / float64(n); fair < share {
+				share = fair
+			}
+		}
+		// Freeze every flow constrained at this share: flows on saturated
+		// links, or all remaining flows if the stream cap binds.
+		frozeAny := false
+		for _, l := range links {
+			n := 0
+			for _, f := range l.flows {
+				if f.rate < 0 {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if l.capacity/float64(n) <= share+1e-12 {
+				for _, f := range l.flows {
+					if f.rate < 0 {
+						f.rate = share
+						unfrozen--
+						frozeAny = true
+					}
+				}
+				l.capacity = 0
+			}
+		}
+		if !frozeAny {
+			// The stream cap binds for everyone left.
+			for _, f := range active {
+				if f.rate < 0 {
+					f.rate = share
+					unfrozen--
+				}
+			}
+		}
+		// Deduct frozen flows' rates from their links' remaining capacity.
+		for _, l := range links {
+			if l.capacity == 0 {
+				continue
+			}
+			remaining := s.p.LineRate
+			for _, f := range l.flows {
+				if f.rate >= 0 {
+					remaining -= f.rate
+				}
+			}
+			if remaining < 0 {
+				remaining = 0
+			}
+			l.capacity = remaining
+		}
+	}
+}
+
+// WorkerAggregatorTimeDelays is WorkerAggregatorTime with an extra
+// per-worker send delay (straggler model: nodeDelay[w] seconds before each
+// of worker w's transfers starts).
+func WorkerAggregatorTimeDelays(p Params, workers int, gradBytes, weightBytes, sumDelay float64, nodeDelay []float64) float64 {
+	s := New(p, workers+1)
+	agg := workers
+	up := make([]FlowID, workers)
+	for w := 0; w < workers; w++ {
+		d := 0.0
+		if w < len(nodeDelay) {
+			d = nodeDelay[w]
+		}
+		up[w] = s.AddFlow(w, agg, gradBytes, nil, d)
+	}
+	down := make([]FlowID, workers)
+	for w := 0; w < workers; w++ {
+		down[w] = s.AddFlow(agg, w, weightBytes, up, sumDelay)
+	}
+	times := s.Run()
+	var last float64
+	for _, id := range down {
+		if times[id] > last {
+			last = times[id]
+		}
+	}
+	return last
+}
+
+// RingTimeDelays is RingTime with an extra per-node send delay: a single
+// straggler stalls every one of its 2(p−1) pipeline steps, so the ring is
+// far more straggler-sensitive than the aggregator exchange — the known
+// trade-off of synchronous ring collectives, quantified in ablation G.
+func RingTimeDelays(p Params, workers int, blockBytes, sumDelayPerStep float64, nodeDelay []float64) float64 {
+	if workers < 2 {
+		return 0
+	}
+	s := New(p, workers)
+	steps := 2 * (workers - 1)
+	prev := make([]FlowID, workers)
+	for i := range prev {
+		prev[i] = -1
+	}
+	var all []FlowID
+	for step := 0; step < steps; step++ {
+		cur := make([]FlowID, workers)
+		for node := 0; node < workers; node++ {
+			right := (node + 1) % workers
+			var deps []FlowID
+			if prev[node] >= 0 {
+				deps = append(deps, prev[node])
+			}
+			delay := 0.0
+			if step < workers-1 && prev[node] >= 0 {
+				delay = sumDelayPerStep
+			}
+			if node < len(nodeDelay) {
+				delay += nodeDelay[node]
+			}
+			cur[right] = s.AddFlow(node, right, blockBytes, deps, delay)
+			all = append(all, cur[right])
+		}
+		prev = cur
+	}
+	times := s.Run()
+	var last float64
+	for _, id := range all {
+		if times[id] > last {
+			last = times[id]
+		}
+	}
+	return last
+}
+
+// WorkerAggregatorTime builds and runs the WA exchange DAG: p workers send
+// gradBytes to the aggregator concurrently, the aggregator spends sumDelay,
+// then sends weightBytes back to every worker. Returns the time the last
+// worker holds the weights.
+func WorkerAggregatorTime(p Params, workers int, gradBytes, weightBytes, sumDelay float64) float64 {
+	s := New(p, workers+1)
+	agg := workers
+	up := make([]FlowID, workers)
+	for w := 0; w < workers; w++ {
+		up[w] = s.AddFlow(w, agg, gradBytes, nil, 0)
+	}
+	var last float64
+	down := make([]FlowID, workers)
+	for w := 0; w < workers; w++ {
+		down[w] = s.AddFlow(agg, w, weightBytes, up, sumDelay)
+	}
+	times := s.Run()
+	for _, id := range down {
+		if times[id] > last {
+			last = times[id]
+		}
+	}
+	return last
+}
+
+// RingTime builds and runs the ring exchange DAG: 2(p−1) steps; in step s
+// every node forwards one block to its right neighbour, and a node's send
+// in step s+1 depends on its own receive in step s (plus sumDelay during
+// the reduce-scatter phase). Returns the time the last node finishes.
+func RingTime(p Params, workers int, blockBytes, sumDelayPerStep float64) float64 {
+	if workers < 2 {
+		return 0
+	}
+	s := New(p, workers)
+	steps := 2 * (workers - 1)
+	prev := make([]FlowID, workers) // node's receive in the previous step
+	for i := range prev {
+		prev[i] = -1
+	}
+	var all []FlowID
+	for step := 0; step < steps; step++ {
+		cur := make([]FlowID, workers)
+		for node := 0; node < workers; node++ {
+			right := (node + 1) % workers
+			var deps []FlowID
+			if prev[node] >= 0 {
+				deps = append(deps, prev[node])
+			}
+			delay := 0.0
+			if step < workers-1 && prev[node] >= 0 {
+				delay = sumDelayPerStep
+			}
+			cur[right] = s.AddFlow(node, right, blockBytes, deps, delay)
+			all = append(all, cur[right])
+		}
+		prev = cur
+	}
+	times := s.Run()
+	var last float64
+	for _, id := range all {
+		if times[id] > last {
+			last = times[id]
+		}
+	}
+	return last
+}

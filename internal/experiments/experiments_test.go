@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	return Options{Quick: true, Seed: 7}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be present.
+	want := []string{"fig3", "fig4", "fig5", "fig7", "table1", "table2",
+		"fig12", "fig13", "fig14", "table3", "fig15", "ablation"}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for i, name := range want {
+		if reg[i].Name != name {
+			t.Errorf("registry[%d] = %s, want %s", i, reg[i].Name, name)
+		}
+		if reg[i].Run == nil || reg[i].Title == "" {
+			t.Errorf("registry entry %s incomplete", name)
+		}
+	}
+	if _, ok := Lookup("fig12"); !ok {
+		t.Error("Lookup(fig12) failed")
+	}
+	if _, ok := Lookup("nonexistent"); ok {
+		t.Error("Lookup(nonexistent) succeeded")
+	}
+	if len(Names()) != len(want) {
+		t.Error("Names() incomplete")
+	}
+}
+
+func runExperiment(t *testing.T, name string) string {
+	t.Helper()
+	e, ok := Lookup(name)
+	if !ok {
+		t.Fatalf("experiment %s not found", name)
+	}
+	var buf bytes.Buffer
+	if err := e.Run(&buf, quickOpts()); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) < 100 {
+		t.Fatalf("%s produced only %d bytes", name, len(out))
+	}
+	return out
+}
+
+func TestFig3Output(t *testing.T) {
+	out := runExperiment(t, "fig3")
+	for _, want := range []string{"AlexNet", "VGG-16", "525", "communication", "%"} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	out := runExperiment(t, "table1")
+	for _, want := range []string{"Momentum", "0.9", "320000", "Weight decay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	out := runExperiment(t, "table2")
+	for _, want := range []string{"Forward pass", "Communicate", "148.71", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig12Output(t *testing.T) {
+	out := runExperiment(t, "fig12")
+	for _, want := range []string{"WA+C", "INC+C", "comm reduction", "AlexNet", "VGG-16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig12 output missing %q", want)
+		}
+	}
+}
+
+func TestFig13Output(t *testing.T) {
+	out := runExperiment(t, "fig13")
+	for _, want := range []string{"speedup", "epochs", "lossless reached"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Errorf("fig13 output missing %q", want)
+		}
+	}
+}
+
+func TestFig15Output(t *testing.T) {
+	out := runExperiment(t, "fig15")
+	for _, want := range []string{"nodes", "analytic", "ResNet-50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig15 output missing %q", want)
+		}
+	}
+}
+
+func TestFig5Output(t *testing.T) {
+	out := runExperiment(t, "fig5")
+	for _, want := range []string{"early", "middle", "final", "std"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig5 output missing %q", want)
+		}
+	}
+}
+
+func TestFig7Output(t *testing.T) {
+	out := runExperiment(t, "fig7")
+	for _, want := range []string{"Snappy", "SZ", "16b-T", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	out := runExperiment(t, "table3")
+	for _, want := range []string{"2-bit", "34-bit", "paper", "measured"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestAblationOutput(t *testing.T) {
+	out := runExperiment(t, "ablation")
+	for _, want := range []string{"burst width", "error-bound sweep", "compression legs", "in-NIC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+// Fig4 and Fig14 are the heaviest experiments (many full training runs);
+// exercised once each to keep the suite minutes-scale.
+func TestFig4Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy experiment")
+	}
+	out := runExperiment(t, "fig4")
+	for _, want := range []string{"no truncation", "16b-T g only", "24b-T w & g", "HDC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig4 output missing %q", want)
+		}
+	}
+}
+
+func TestFig14Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy experiment")
+	}
+	out := runExperiment(t, "fig14")
+	for _, want := range []string{"compression ratio", "relative", "INC(2^-10)", "22b-T"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig14 output missing %q", want)
+		}
+	}
+}
+
+func TestSelfTestPasses(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SelfTest(&buf, quickOpts()); err != nil {
+		t.Fatalf("self-test failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "all self-test checks passed") {
+		t.Error("missing success footer")
+	}
+	if strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("self-test output contains FAIL:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/models"
+	"inceptionn/internal/train"
+	"inceptionn/internal/trainsim"
+)
+
+// Table1 prints the hyperparameters of the evaluated models (paper
+// Table I), straight from the model specs.
+func Table1(w io.Writer, o Options) error {
+	header(w, "Table I: Hyperparameters of different benchmarks")
+	fmt.Fprintf(w, "%-28s %10s %8s %10s %8s %10s\n",
+		"Hyperparameter", "AlexNet", "HDC", "ResNet-50", "VGG-16", "")
+	specs := models.Evaluated()
+	row := func(name string, f func(models.Spec) string) {
+		fmt.Fprintf(w, "%-28s", name)
+		for _, s := range []models.Spec{specs[0], specs[1], specs[2], specs[3]} {
+			fmt.Fprintf(w, " %10s", f(s))
+		}
+		fmt.Fprintln(w)
+	}
+	row("Per-node batch size", func(s models.Spec) string { return fmt.Sprintf("%d", s.Hyper.BatchPerNode) })
+	row("Learning rate (LR)", func(s models.Spec) string { return fmt.Sprintf("%g", s.Hyper.LR) })
+	row("LR reduction", func(s models.Spec) string { return fmt.Sprintf("%g", s.Hyper.LRFactor) })
+	row("LR reduction iterations", func(s models.Spec) string { return fmt.Sprintf("%d", s.Hyper.LREvery) })
+	row("Momentum", func(s models.Spec) string { return fmt.Sprintf("%g", s.Hyper.Momentum) })
+	row("Weight decay", func(s models.Spec) string { return fmt.Sprintf("%g", s.Hyper.WeightDecay) })
+	row("Training iterations", func(s models.Spec) string { return fmt.Sprintf("%d", s.Hyper.Iterations) })
+	return nil
+}
+
+// Table2 prints the per-step training-time breakdown on the five-node
+// worker-aggregator cluster (paper Table II): the paper's measured values
+// next to this repository's simulated communication time.
+func Table2(w io.Writer, o Options) error {
+	header(w, "Table II: Time breakdown per 100 iterations, 4 workers + 1 aggregator")
+	cfg := trainsim.Default()
+	for _, s := range models.Evaluated() {
+		b := s.Breakdown
+		sim := cfg.IterTime(trainsim.WA, s)
+		fmt.Fprintf(w, "%s\n", s)
+		rows := []struct {
+			name string
+			val  float64
+		}{
+			{"Forward pass", b.Forward},
+			{"Backward pass", b.Backward},
+			{"GPU copy", b.GPUCopy},
+			{"Gradient sum", b.GradSum},
+			{"Communicate", b.Communicate},
+			{"Update", b.Update},
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "  %-16s %8.2fs %6.1f%%\n", r.name, r.val, 100*r.val/b.Total())
+		}
+		fmt.Fprintf(w, "  %-16s %8.2fs\n", "Total (paper)", b.Total())
+		fmt.Fprintf(w, "  %-16s %8.2fs  (exchange %.2fs, share %.1f%%)\n\n",
+			"Total (simulated)", 100*sim.Total(), 100*sim.Exchange, 100*cfg.CommShare(s))
+	}
+	return nil
+}
+
+// Table3 prints the bitwidth distribution of compressed gradients (paper
+// Table III): the paper's measured fractions next to fractions measured
+// on this repository's real gradient streams from HDC training on the
+// synthetic digits.
+func Table3(w io.Writer, o Options) error {
+	header(w, "Table III: Bitwidth distribution of compressed gradients")
+	fmt.Fprintf(w, "%-12s %-8s %8s %8s %8s %8s   %s\n",
+		"Model", "Bound", "2-bit", "10-bit", "18-bit", "34-bit", "source")
+
+	// Paper-reported rows.
+	for _, s := range models.Evaluated() {
+		rows := trainsim.PaperTableIII[s.Name]
+		for _, e := range []int{10, 8, 6} {
+			r := rows[e]
+			fmt.Fprintf(w, "%-12s 2^-%-5d %7.1f%% %7.1f%% %7.1f%% %7.1f%%   paper\n",
+				s.Name, e, 100*r.F2, 100*r.F10, 100*r.F18, 100*r.F34)
+		}
+	}
+
+	// Measured rows from a real training run.
+	trainDS, testDS, opts := digitsTask(o)
+	totalIters := o.iters(240)
+	grads, err := collectGradients(buildHDCForScale(o), trainDS, testDS, opts, totalIters,
+		[]int{totalIters / 4, totalIters / 2, totalIters})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	for _, e := range []int{10, 8, 6} {
+		bound := fpcodec.MustBound(e)
+		var st fpcodec.TagStats
+		for _, g := range grads {
+			st.Observe(g, bound)
+		}
+		fmt.Fprintf(w, "%-12s 2^-%-5d %7.1f%% %7.1f%% %7.1f%% %7.1f%%   measured (HDC on synthetic digits)\n",
+			"HDC", e,
+			100*st.Fraction(fpcodec.TagZero), 100*st.Fraction(fpcodec.Tag8),
+			100*st.Fraction(fpcodec.Tag16), 100*st.Fraction(fpcodec.TagNone))
+	}
+	return nil
+}
+
+// buildHDCForScale picks the HDC size matching the experiment scale: the
+// paper-faithful 500-wide network in full mode, the fast 128-wide variant
+// in quick mode.
+func buildHDCForScale(o Options) train.Builder {
+	if o.Quick {
+		return models.NewHDCSmall
+	}
+	return models.NewHDC
+}

@@ -1,0 +1,146 @@
+package fpcodec
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Fast-path codec: identical wire format to CompressStream /
+// DecompressStream (verified bit-exactly by tests), but staging bits in a
+// 64-bit register and writing whole bytes instead of going through the
+// generic bit writer. This is the software throughput that the Fig. 7
+// comparison charges to host CPUs; the hardware engines are modelled in
+// internal/nic.
+
+// Encoder is a reusable fast compressor.
+type Encoder struct {
+	Bound Bound
+
+	buf   []byte
+	stage uint64
+	nbits int
+}
+
+// NewEncoder returns an encoder for the bound.
+func NewEncoder(bound Bound) *Encoder {
+	return &Encoder{Bound: bound}
+}
+
+// push appends the low w bits of v to the staged output, draining the
+// stage in 32-bit words. Invariant: nbits < 32 on entry, so nbits+w ≤ 63
+// never overflows the 64-bit stage for w ≤ 32.
+func (e *Encoder) push(v uint64, w int) {
+	e.stage |= v << uint(e.nbits)
+	e.nbits += w
+	if e.nbits >= 32 {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(e.stage))
+		e.stage >>= 32
+		e.nbits -= 32
+	}
+}
+
+// Encode compresses src, returning the packed bytes (valid until the next
+// call) and the exact bit length.
+func (e *Encoder) Encode(src []float32) ([]byte, int) {
+	// Worst case per group: 16 tag bits + 8×32 data bits = 36 bytes.
+	need := ((len(src)+GroupSize-1)/GroupSize)*36 + 8
+	if cap(e.buf) < need {
+		e.buf = make([]byte, 0, need)
+	}
+	e.buf = e.buf[:0]
+	e.stage = 0
+	e.nbits = 0
+	bits := 0
+	for off := 0; off < len(src); off += GroupSize {
+		hi := off + GroupSize
+		if hi > len(src) {
+			hi = len(src)
+		}
+		group := src[off:hi]
+		var tags uint64
+		var data [GroupSize]uint32
+		var tag [GroupSize]Tag
+		for i, f := range group {
+			data[i], tag[i] = Compress(f, e.Bound)
+			tags |= uint64(tag[i]) << uint(2*i)
+		}
+		e.push(tags, TagVectorBits)
+		bits += TagVectorBits
+		for i := range group {
+			w := tag[i].Bits()
+			e.push(uint64(data[i]), w)
+			bits += w
+		}
+	}
+	for e.nbits > 0 {
+		e.buf = append(e.buf, byte(e.stage))
+		e.stage >>= 8
+		e.nbits -= 8
+	}
+	return e.buf, bits
+}
+
+// Decoder is a reusable fast decompressor.
+type Decoder struct {
+	Bound Bound
+
+	padded []byte // source copy with 8 zero bytes of tail padding
+	pos    int    // next unread bit
+	limit  int
+}
+
+// NewDecoder returns a decoder for the bound.
+func NewDecoder(bound Bound) *Decoder {
+	return &Decoder{Bound: bound}
+}
+
+// read extracts w bits at the cursor (w ≤ 32). The 8-byte tail padding
+// makes the unconditional 64-bit load safe.
+func (d *Decoder) read(w int) (uint64, error) {
+	if d.pos+w > d.limit {
+		return 0, fmt.Errorf("fpcodec: fast decoder exhausted at bit %d (+%d > %d)", d.pos, w, d.limit)
+	}
+	raw := binary.LittleEndian.Uint64(d.padded[d.pos>>3:])
+	v := raw >> uint(d.pos&7)
+	if w < 64 {
+		v &= 1<<uint(w) - 1
+	}
+	d.pos += w
+	return v, nil
+}
+
+// Decode decompresses count values from data (bits valid bits) into dst,
+// which must have length count.
+func (d *Decoder) Decode(data []byte, bits int, dst []float32) error {
+	if bits > 8*len(data) {
+		return fmt.Errorf("fpcodec: %d bits declared in %d bytes", bits, len(data))
+	}
+	d.padded = append(d.padded[:0], data...)
+	d.padded = append(d.padded, 0, 0, 0, 0, 0, 0, 0, 0)
+	d.pos = 0
+	d.limit = bits
+	for off := 0; off < len(dst); off += GroupSize {
+		hi := off + GroupSize
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		tags, err := d.read(TagVectorBits)
+		if err != nil {
+			return err
+		}
+		for i := off; i < hi; i++ {
+			tag := Tag(tags & 0b11)
+			tags >>= 2
+			v, err := d.read(tag.Bits())
+			if err != nil {
+				return err
+			}
+			dst[i] = Decompress(uint32(v), tag, d.Bound)
+		}
+		// Trailing lanes of a final partial group were written as TagZero
+		// (no data bits) by the encoder, so there is nothing to skip; like
+		// the reference decoder, ignore whatever a hostile stream declares
+		// for lanes beyond the value count.
+	}
+	return nil
+}

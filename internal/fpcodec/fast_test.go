@@ -1,0 +1,168 @@
+package fpcodec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"inceptionn/internal/bitio"
+)
+
+func fastTestVector(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		switch rng.Intn(5) {
+		case 0:
+			out[i] = float32(rng.NormFloat64()) // includes |v| >= 1
+		case 1:
+			out[i] = 0
+		default:
+			out[i] = float32(rng.NormFloat64() * 0.003)
+		}
+	}
+	return out
+}
+
+// TestFastEncoderBitExact: the fast encoder must produce the identical
+// byte stream as the reference CompressStream.
+func TestFastEncoderBitExact(t *testing.T) {
+	for _, e := range []int{6, 10, 15} {
+		bound := MustBound(e)
+		enc := NewEncoder(bound)
+		for _, n := range []int{1, 7, 8, 9, 100, 1000} {
+			src := fastTestVector(n, int64(n*e))
+			fastData, fastBits := enc.Encode(src)
+
+			w := bitio.NewWriter(4 * n)
+			CompressStream(w, src, bound)
+			if fastBits != w.Len() {
+				t.Fatalf("E=%d n=%d: fast %d bits, reference %d", e, n, fastBits, w.Len())
+			}
+			ref := w.Bytes()
+			if len(fastData) != len(ref) {
+				t.Fatalf("E=%d n=%d: fast %d bytes, reference %d", e, n, len(fastData), len(ref))
+			}
+			for i := range ref {
+				if fastData[i] != ref[i] {
+					t.Fatalf("E=%d n=%d byte %d: %02x vs %02x", e, n, i, fastData[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFastDecoderMatchesReference: the fast decoder must reproduce the
+// reference DecompressStream exactly on reference-encoded streams.
+func TestFastDecoderMatchesReference(t *testing.T) {
+	bound := MustBound(10)
+	dec := NewDecoder(bound)
+	for _, n := range []int{1, 8, 9, 511, 1000} {
+		src := fastTestVector(n, int64(n))
+		w := bitio.NewWriter(4 * n)
+		CompressStream(w, src, bound)
+
+		want := make([]float32, n)
+		if err := DecompressStream(bitio.NewReader(w.Bytes(), w.Len()), want, bound); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float32, n)
+		if err := dec.Decode(w.Bytes(), w.Len(), got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] && !(isNaN32(got[i]) && isNaN32(want[i])) {
+				t.Fatalf("n=%d value %d: fast %g vs reference %g", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func isNaN32(f float32) bool { return f != f }
+
+func TestFastDecoderTruncated(t *testing.T) {
+	bound := MustBound(10)
+	src := fastTestVector(100, 3)
+	enc := NewEncoder(bound)
+	data, bits := enc.Encode(src)
+	dec := NewDecoder(bound)
+	dst := make([]float32, 100)
+	if err := dec.Decode(data, bits/2, dst); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+	if err := dec.Decode(data[:2], bits, dst); err == nil {
+		t.Fatal("expected error on oversized bit declaration")
+	}
+}
+
+func TestFastEncoderReusable(t *testing.T) {
+	bound := MustBound(8)
+	enc := NewEncoder(bound)
+	dec := NewDecoder(bound)
+	for round := 0; round < 5; round++ {
+		src := fastTestVector(64+round, int64(round))
+		data, bits := enc.Encode(src)
+		dst := make([]float32, len(src))
+		if err := dec.Decode(data, bits, dst); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range src {
+			if dst[i] != Roundtrip(src[i], bound) {
+				t.Fatalf("round %d value %d", round, i)
+			}
+		}
+	}
+}
+
+func TestQuickFastRoundtrip(t *testing.T) {
+	f := func(seed int64, nRaw uint16, eRaw uint8) bool {
+		n := int(nRaw)%500 + 1
+		e := int(eRaw)%15 + 1
+		bound := MustBound(e)
+		src := fastTestVector(n, seed)
+		enc := NewEncoder(bound)
+		data, bits := enc.Encode(src)
+		dec := NewDecoder(bound)
+		dst := make([]float32, n)
+		if err := dec.Decode(data, bits, dst); err != nil {
+			return false
+		}
+		for i := range src {
+			want := Roundtrip(src[i], bound)
+			if dst[i] != want && !(isNaN32(dst[i]) && isNaN32(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFastEncode64K(b *testing.B) {
+	bound := MustBound(10)
+	src := fastTestVector(64*1024, 1)
+	enc := NewEncoder(bound)
+	b.SetBytes(int64(4 * len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc.Encode(src)
+	}
+}
+
+func BenchmarkFastDecode64K(b *testing.B) {
+	bound := MustBound(10)
+	src := fastTestVector(64*1024, 1)
+	enc := NewEncoder(bound)
+	data, bits := enc.Encode(src)
+	dec := NewDecoder(bound)
+	dst := make([]float32, len(src))
+	b.SetBytes(int64(4 * len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := dec.Decode(data, bits, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package fpcodec
+
+import (
+	"math"
+	"testing"
+
+	"inceptionn/internal/bitio"
+)
+
+// FuzzScalarRoundtrip fuzzes the scalar codec over the full float32 bit
+// space and every bound: the error contract must hold for every input.
+func FuzzScalarRoundtrip(f *testing.F) {
+	f.Add(uint32(0), 10)
+	f.Add(math.Float32bits(0.5), 10)
+	f.Add(math.Float32bits(-1.5), 6)
+	f.Add(math.Float32bits(1e-30), 15)
+	f.Add(math.Float32bits(float32(math.NaN())), 8)
+	f.Fuzz(func(t *testing.T, bits uint32, eRaw int) {
+		e := (eRaw%15+15)%15 + 1
+		bound := MustBound(e)
+		v := math.Float32frombits(bits)
+		got := Roundtrip(v, bound)
+		switch {
+		case math.IsNaN(float64(v)):
+			if !math.IsNaN(float64(got)) {
+				t.Fatalf("NaN not preserved: %g", got)
+			}
+		case math.Abs(float64(v)) >= 1:
+			if got != v {
+				t.Fatalf("no-compress class not exact: %g -> %g", v, got)
+			}
+		default:
+			if math.Abs(float64(got)-float64(v)) > bound.MaxError() {
+				t.Fatalf("bound %v violated: %g -> %g", bound, v, got)
+			}
+			if twice := Roundtrip(got, bound); twice != got {
+				t.Fatalf("not idempotent: %g -> %g", got, twice)
+			}
+		}
+	})
+}
+
+// FuzzDecompressStream fuzzes the decoder with arbitrary byte streams: it
+// must never panic, only return errors or values.
+func FuzzDecompressStream(f *testing.F) {
+	// Seed with a valid stream.
+	bound := MustBound(10)
+	w := bitio.NewWriter(64)
+	CompressStream(w, []float32{0.5, -0.001, 2.5, 0}, bound)
+	f.Add(w.Bytes(), w.Len(), 4)
+	f.Add([]byte{0xFF, 0x00, 0xAB}, 24, 8)
+	f.Fuzz(func(t *testing.T, data []byte, bits, count int) {
+		if bits < 0 || bits > 8*len(data) || count < 0 || count > 4096 {
+			t.Skip()
+		}
+		dst := make([]float32, count)
+		// Both decoders must agree on success/failure and values.
+		errRef := DecompressStream(bitio.NewReader(data, bits), dst, bound)
+		fast := make([]float32, count)
+		errFast := NewDecoder(bound).Decode(data, bits, fast)
+		if (errRef == nil) != (errFast == nil) {
+			t.Fatalf("decoders disagree: ref=%v fast=%v", errRef, errFast)
+		}
+		if errRef == nil {
+			for i := range dst {
+				if dst[i] != fast[i] && !(isNaN32(dst[i]) && isNaN32(fast[i])) {
+					t.Fatalf("value %d: ref %g fast %g", i, dst[i], fast[i])
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,260 @@
+// Package hierarchy implements the multi-level organizations of the
+// paper's Fig. 1: worker groups are the building block, and the
+// gradient-centric ring exchange can replace either just the leaf groups
+// of a conventional worker-aggregator tree (Fig. 1b) or every level of
+// the hierarchy (Fig. 1c).
+//
+// Topology model: N workers are divided into groups of GroupSize. Within
+// a group, gradients are exchanged with Algorithm 1 (ring). Across
+// groups, one representative per group ("leader", the paper's per-group
+// contact point) exchanges the group's aggregated gradient:
+//
+//   - ModeAggregatorTree (Fig. 1b): leaders send the group sums to a
+//     designated global aggregator (node id = N) and receive updated
+//     weights back — gradients only flow on the up leg, so only that leg
+//     is compressible, and the root remains a hot spot.
+//   - ModeRingOfLeaders (Fig. 1c): leaders run a second-level ring
+//     exchange among themselves — gradients flow on every leg of every
+//     level, so in-NIC compression applies everywhere and no node is
+//     special.
+//
+// After the inter-group exchange, leaders hold the global gradient sum
+// and broadcast it down their group ring positionally (a final intra-group
+// Bcast), after which every worker applies the same update.
+package hierarchy
+
+import (
+	"fmt"
+	"sync"
+
+	"inceptionn/internal/comm"
+)
+
+// Mode selects the inter-group organization.
+type Mode int
+
+// Modes of Fig. 1(b) and Fig. 1(c).
+const (
+	// ModeAggregatorTree keeps a designated global aggregator above the
+	// ring groups (Fig. 1b).
+	ModeAggregatorTree Mode = iota
+	// ModeRingOfLeaders uses rings at every level (Fig. 1c).
+	ModeRingOfLeaders
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeAggregatorTree {
+		return "aggregator-tree"
+	}
+	return "ring-of-leaders"
+}
+
+// Topology describes a two-level cluster.
+type Topology struct {
+	Workers   int // total workers; must be a multiple of GroupSize
+	GroupSize int
+	Mode      Mode
+}
+
+// Validate checks the topology.
+func (t Topology) Validate() error {
+	if t.GroupSize < 2 {
+		return fmt.Errorf("hierarchy: group size %d", t.GroupSize)
+	}
+	if t.Workers < t.GroupSize || t.Workers%t.GroupSize != 0 {
+		return fmt.Errorf("hierarchy: %d workers not divisible into groups of %d",
+			t.Workers, t.GroupSize)
+	}
+	return nil
+}
+
+// Groups returns the number of groups.
+func (t Topology) Groups() int { return t.Workers / t.GroupSize }
+
+// FabricSize returns the node count the fabric must provide: the workers
+// plus, in aggregator-tree mode, the global aggregator.
+func (t Topology) FabricSize() int {
+	if t.Mode == ModeAggregatorTree {
+		return t.Workers + 1
+	}
+	return t.Workers
+}
+
+// AggregatorID returns the global aggregator's node id (tree mode only).
+func (t Topology) AggregatorID() int { return t.Workers }
+
+// group returns worker id's group index and its rank within the group.
+func (t Topology) group(id int) (g, rank int) {
+	return id / t.GroupSize, id % t.GroupSize
+}
+
+// leader reports whether id is its group's leader (rank 0).
+func (t Topology) leader(id int) bool {
+	_, rank := t.group(id)
+	return rank == 0
+}
+
+// ringAllReduce runs Algorithm 1 over an arbitrary member set (a group or
+// the set of group leaders), identified by their fabric ids in ring order.
+func ringAllReduce(e *comm.Endpoint, ids []int, myRank int, grad []float32, tos uint8, finalize func([]float32)) {
+	n := len(ids)
+	if n == 1 {
+		if finalize != nil {
+			finalize(grad)
+		}
+		return
+	}
+	right := ids[(myRank+1)%n]
+	left := ids[(myRank-1+n)%n]
+
+	for s := 1; s <= n-1; s++ {
+		sendBlk := ((myRank-s+1)%n + n) % n
+		recvBlk := ((myRank-s)%n + n) % n
+		lo, hi := blockBounds(len(grad), n, sendBlk)
+		e.Send(right, grad[lo:hi], tos, 8000+s)
+		rb := e.Recv(left, 8000+s)
+		lo, hi = blockBounds(len(grad), n, recvBlk)
+		local := grad[lo:hi]
+		for i, v := range rb {
+			local[i] += v
+		}
+	}
+	if finalize != nil {
+		lo, hi := blockBounds(len(grad), n, (myRank+1)%n)
+		finalize(grad[lo:hi])
+	}
+	for s := 0; s <= n-2; s++ {
+		sendBlk := ((myRank+1-s)%n + n) % n
+		recvBlk := ((myRank-s)%n + n) % n
+		lo, hi := blockBounds(len(grad), n, sendBlk)
+		e.Send(right, grad[lo:hi], tos, 9000+s)
+		rb := e.Recv(left, 9000+s)
+		lo, hi = blockBounds(len(grad), n, recvBlk)
+		copy(grad[lo:hi], rb)
+	}
+}
+
+func blockBounds(n, parts, b int) (lo, hi int) {
+	per := n / parts
+	rem := n % parts
+	lo = b*per + min(b, rem)
+	size := per
+	if b < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Tags for the leader↔member and leader↔aggregator legs.
+const (
+	tagLeaderDown = 9500
+	tagGradUp     = 9600
+	tagResultDown = 9601
+)
+
+// AllReduce performs the hierarchical global gradient sum on worker id:
+// intra-group ring, inter-group exchange per the topology mode, and an
+// intra-group broadcast of the global result. On return every worker's
+// grad holds the global sum. Leaders' inter-group gradient legs honour
+// tos; the tree mode's weight-like down leg does not (it carries the
+// already-summed gradient from the aggregator, which the paper's WA
+// system would send as weights — we keep it uncompressed for parity).
+//
+// All t.Workers workers must call AllReduce concurrently; in tree mode
+// RunAggregator must run on node t.AggregatorID().
+func AllReduce(t Topology, e *comm.Endpoint, grad []float32, tos uint8, finalize func([]float32)) {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	id := e.ID()
+	g, rank := t.group(id)
+	groupIDs := make([]int, t.GroupSize)
+	for i := range groupIDs {
+		groupIDs[i] = g*t.GroupSize + i
+	}
+
+	// Level 1: intra-group ring (gradients, compressible).
+	ringAllReduce(e, groupIDs, rank, grad, tos, finalize)
+
+	// Level 2: inter-group exchange by the leaders.
+	if t.leader(id) {
+		switch t.Mode {
+		case ModeRingOfLeaders:
+			leaders := make([]int, t.Groups())
+			for i := range leaders {
+				leaders[i] = i * t.GroupSize
+			}
+			ringAllReduce(e, leaders, g, grad, tos, finalize)
+		case ModeAggregatorTree:
+			e.Send(t.AggregatorID(), grad, tos, tagGradUp)
+			copy(grad, e.Recv(t.AggregatorID(), tagResultDown))
+		}
+		// Level 3: broadcast the global result inside the group.
+		for _, member := range groupIDs[1:] {
+			e.Send(member, grad, 0, tagLeaderDown)
+		}
+	} else {
+		copy(grad, e.Recv(groupIDs[0], tagLeaderDown))
+	}
+}
+
+// RunAggregator is the global aggregator loop body for one iteration of
+// ModeAggregatorTree: it sums the group leaders' vectors and sends the
+// result back.
+func RunAggregator(t Topology, e *comm.Endpoint, gradLen int) {
+	sum := make([]float32, gradLen)
+	leaders := make([]int, t.Groups())
+	for i := range leaders {
+		leaders[i] = i * t.GroupSize
+	}
+	for _, l := range leaders {
+		g := e.Recv(l, tagGradUp)
+		for i, v := range g {
+			sum[i] += v
+		}
+	}
+	for _, l := range leaders {
+		e.Send(l, sum, 0, tagResultDown)
+	}
+}
+
+// RunAllReduce is a convenience harness: it spins up the full topology on
+// an in-process fabric, runs one hierarchical AllReduce with each worker's
+// input vector, and returns the per-worker results.
+func RunAllReduce(t Topology, proc comm.WireProcessor, inputs [][]float32, tos uint8, finalize func([]float32)) ([][]float32, *comm.Fabric, error) {
+	if err := t.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(inputs) != t.Workers {
+		return nil, nil, fmt.Errorf("hierarchy: %d inputs for %d workers", len(inputs), t.Workers)
+	}
+	f := comm.NewFabric(t.FabricSize(), proc)
+	out := make([][]float32, t.Workers)
+	var wg sync.WaitGroup
+	if t.Mode == ModeAggregatorTree {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			RunAggregator(t, f.Endpoint(t.AggregatorID()), len(inputs[0]))
+		}()
+	}
+	for id := 0; id < t.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := append([]float32(nil), inputs[id]...)
+			AllReduce(t, f.Endpoint(id), g, tos, finalize)
+			out[id] = g
+		}(id)
+	}
+	wg.Wait()
+	return out, f, nil
+}

@@ -1,0 +1,156 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inceptionn/internal/nn"
+	"inceptionn/internal/tensor"
+)
+
+func TestTableIIBreakdownTotals(t *testing.T) {
+	// Totals from the paper's Table II.
+	cases := []struct {
+		spec Spec
+		want float64
+	}{
+		{AlexNet, 196.35}, {HDC, 1.69}, {ResNet50, 75.55}, {VGG16, 823.65},
+	}
+	for _, c := range cases {
+		if got := c.spec.Breakdown.Total(); math.Abs(got-c.want) > 0.015 {
+			t.Errorf("%s: Total = %g, want %g", c.spec.Name, got, c.want)
+		}
+	}
+}
+
+func TestCommunicationShareOver70Percent(t *testing.T) {
+	// The paper's headline observation: >70% of training time is
+	// communication for every evaluated model.
+	for _, s := range Evaluated() {
+		share := s.Breakdown.Communicate / s.Breakdown.Total()
+		if share < 0.70 {
+			t.Errorf("%s: communication share = %.1f%%, paper reports >70%%", s.Name, 100*share)
+		}
+	}
+}
+
+func TestSpecParams(t *testing.T) {
+	if AlexNet.Params() != 233*MB/4 {
+		t.Errorf("AlexNet params = %d", AlexNet.Params())
+	}
+	if got := VGG16.ParamBytes; got != 525*MB {
+		t.Errorf("VGG16 bytes = %d", got)
+	}
+}
+
+func TestConvergenceEpochInflationSmall(t *testing.T) {
+	// Fig. 13: compressed training needs only 1-2 extra epochs.
+	for _, s := range Evaluated() {
+		extra := s.Conv.EpochsCompressed - s.Conv.EpochsLossless
+		if extra < 1 || extra > 2 {
+			t.Errorf("%s: %d extra epochs, paper reports 1-2", s.Name, extra)
+		}
+	}
+}
+
+func TestHDCArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := NewHDC(rng)
+	// Five dense layers: 784·500 + 500 + 3×(500·500+500) + 500·10 + 10.
+	want := 784*500 + 500 + 3*(500*500+500) + 500*10 + 10
+	if got := net.NumParams(); got != want {
+		t.Errorf("HDC params = %d, want %d", got, want)
+	}
+	x := tensor.New(2, 784)
+	out := net.Forward(x, false)
+	if out.Shape[0] != 2 || out.Shape[1] != 10 {
+		t.Errorf("HDC output shape %v", out.Shape)
+	}
+}
+
+func TestMiniModelsForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var sce nn.SoftmaxCrossEntropy
+	for name, build := range Builders {
+		if name == "hdc" || name == "hdc-small" {
+			continue
+		}
+		net := build(rng)
+		x := tensor.New(2, 3, 32, 32)
+		x.FillRandn(rng, 1)
+		out := net.Forward(x, true)
+		if out.Shape[0] != 2 || out.Shape[1] != 10 {
+			t.Errorf("%s: output shape %v", name, out.Shape)
+			continue
+		}
+		net.ZeroGrads()
+		_, grad := sce.Loss(out, []int{3, 7})
+		net.Backward(grad)
+		// Every parameter must receive some gradient signal.
+		dead := 0
+		for _, p := range net.Params() {
+			if p.G.MaxAbs() == 0 {
+				dead++
+			}
+		}
+		if dead > len(net.Params())/2 {
+			t.Errorf("%s: %d of %d parameters received zero gradient", name, dead, len(net.Params()))
+		}
+	}
+}
+
+func TestMiniModelsDeterministicInit(t *testing.T) {
+	a := NewMiniAlexNet(rand.New(rand.NewSource(7)))
+	b := NewMiniAlexNet(rand.New(rand.NewSource(7)))
+	wa := a.WeightVector(nil)
+	wb := b.WeightVector(nil)
+	for i := range wa {
+		if wa[i] != wb[i] {
+			t.Fatal("same seed produced different init")
+		}
+	}
+}
+
+func TestEvaluatedOrder(t *testing.T) {
+	names := []string{"AlexNet", "HDC", "ResNet-50", "VGG-16"}
+	for i, s := range Evaluated() {
+		if s.Name != names[i] {
+			t.Errorf("Evaluated()[%d] = %s, want %s", i, s.Name, names[i])
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	if got := AlexNet.String(); got != "AlexNet (233 MB)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFig3Models(t *testing.T) {
+	specs := Fig3Models()
+	if len(specs) != 3 || specs[1].Name != "ResNet-152" {
+		t.Errorf("Fig3Models = %v", specs)
+	}
+}
+
+func TestBuildersRegistryComplete(t *testing.T) {
+	for _, name := range []string{"hdc", "hdc-small", "mini-alexnet", "mini-alexnet-lrn", "mini-vgg", "mini-resnet"} {
+		if Builders[name] == nil {
+			t.Errorf("builder %q missing", name)
+		}
+	}
+}
+
+func TestHDCSmallSharesTopologyWithHDC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small := NewHDCSmall(rng)
+	big := NewHDC(rng)
+	// Same layer count and same depth of learnable layers.
+	if len(small.Layers) != len(big.Layers) {
+		t.Errorf("layer counts differ: %d vs %d", len(small.Layers), len(big.Layers))
+	}
+	if len(small.Params()) != len(big.Params()) {
+		t.Errorf("param tensor counts differ: %d vs %d", len(small.Params()), len(big.Params()))
+	}
+}

@@ -1,0 +1,118 @@
+package mpi
+
+import (
+	"fmt"
+
+	"inceptionn/internal/comm"
+)
+
+// Additional collectives rounding out the OpenMPI-like API surface of the
+// paper's Sec. VI-B. AllGather and ReduceScatter are the two halves of the
+// ring AllReduce (Fig. 6's P2 and P1 phases respectively), exposed
+// separately; Scatter is Bcast's counterpart.
+
+// Tag bases for the additional collectives.
+const (
+	tagAllGather     = 7100
+	tagReduceScatter = 7200
+	tagScatter       = 7300
+)
+
+// AllGather concatenates every rank's vec (all must have equal length)
+// into one vector ordered by rank, using the ring pipeline (each link
+// carries (p−1)·len bytes, balanced like the paper's exchange).
+func (c *Comm) AllGather(vec []float32) []float32 {
+	n, rank := c.Size(), c.Rank()
+	out := make([]float32, n*len(vec))
+	copy(out[rank*len(vec):], vec)
+	if n == 1 {
+		return out
+	}
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		sendBlk := ((rank-s)%n + n) % n
+		recvBlk := ((rank-s-1)%n + n) % n
+		c.e.Send(right, out[sendBlk*len(vec):(sendBlk+1)*len(vec)], c.tos, tagAllGather+s)
+		rb := c.e.Recv(left, tagAllGather+s)
+		copy(out[recvBlk*len(vec):], rb)
+	}
+	return out
+}
+
+// ReduceScatter sums vec elementwise across ranks and returns this rank's
+// 1/p block of the result (blocks are the same contiguous partition the
+// ring AllReduce uses; rank i receives block i). All vectors must have
+// equal length.
+func (c *Comm) ReduceScatter(vec []float32) []float32 {
+	n, rank := c.Size(), c.Rank()
+	if n == 1 {
+		return append([]float32(nil), vec...)
+	}
+	work := append([]float32(nil), vec...)
+	right := (rank + 1) % n
+	left := (rank - 1 + n) % n
+	for s := 1; s <= n-1; s++ {
+		sendBlk := ((rank-s+1)%n + n) % n
+		recvBlk := ((rank-s)%n + n) % n
+		lo, hi := scatterBounds(len(work), n, sendBlk)
+		c.e.Send(right, work[lo:hi], c.tos, tagReduceScatter+s)
+		rb := c.e.Recv(left, tagReduceScatter+s)
+		lo, hi = scatterBounds(len(work), n, recvBlk)
+		local := work[lo:hi]
+		for i, v := range rb {
+			local[i] += v
+		}
+	}
+	// After n−1 steps this rank owns fully reduced block (rank+1) mod n,
+	// which is exactly the block its right neighbour should return; one
+	// final shift gives every rank its own block.
+	ownBlk := (rank + 1) % n
+	lo, hi := scatterBounds(len(work), n, ownBlk)
+	c.e.Send(right, work[lo:hi], c.tos, tagReduceScatter)
+	rb := c.e.Recv(left, tagReduceScatter)
+	return append([]float32(nil), rb...)
+}
+
+// scatterBounds mirrors the ring package's block partition.
+func scatterBounds(n, parts, b int) (lo, hi int) {
+	per := n / parts
+	rem := n % parts
+	lo = b*per + minInt(b, rem)
+	size := per
+	if b < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Scatter distributes root's per-rank chunks: root passes chunks indexed
+// by rank (each chunk may differ in length); every rank returns its own
+// chunk. Non-root ranks pass nil.
+func (c *Comm) Scatter(chunks [][]float32, root int) []float32 {
+	n, rank := c.Size(), c.Rank()
+	if rank == root {
+		if len(chunks) != n {
+			panic(fmt.Sprintf("mpi: Scatter got %d chunks for %d ranks", len(chunks), n))
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			c.e.Send(r, chunks[r], 0, tagScatter)
+		}
+		return append([]float32(nil), chunks[root]...)
+	}
+	return c.e.Recv(root, tagScatter)
+}
+
+// Endpoint exposes the underlying transport peer, letting callers mix
+// collective and point-to-point communication on one communicator.
+func (c *Comm) Endpoint() comm.Peer { return c.e }

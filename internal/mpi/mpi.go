@@ -1,0 +1,196 @@
+// Package mpi provides MPI-flavoured collective communication over the
+// comm fabric, mirroring the software stack of the paper's Sec. VI-B: a
+// default collective API plus CollectiveCommComp — the paper's
+// MPI_collective_communication_comp — which propagates a per-communicator
+// flag down to the transport and tags every packet of subsequent
+// collectives with ToS 0x28, opting them into in-NIC lossy compression
+// (the setsockopt path in Fig. 11).
+package mpi
+
+import (
+	"fmt"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/ring"
+)
+
+// Comm is a communicator: one rank's handle on the collective group.
+type Comm struct {
+	e        *comm.Endpoint
+	tos      uint8
+	finalize func([]float32)
+}
+
+// World returns rank id's communicator over fabric f.
+func World(f *comm.Fabric, id int) *Comm {
+	return &Comm{e: f.Endpoint(id)}
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.e.ID() }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.e.N() }
+
+// CollectiveCommComp enables or disables lossy compression for subsequent
+// collectives on this communicator by setting the packet ToS field, exactly
+// as the paper's specialized API does per TCP socket.
+func (c *Comm) CollectiveCommComp(enabled bool) {
+	if enabled {
+		c.tos = comm.ToSCompress
+	} else {
+		c.tos = 0
+	}
+}
+
+// Compressing reports whether collectives are currently ToS-tagged.
+func (c *Comm) Compressing() bool { return c.tos == comm.ToSCompress }
+
+// SetFinalize installs the function applied to this rank's fully
+// aggregated ring block during AllReduce (see ring.AllReduce); required
+// for bit-identical replicas when compression is enabled.
+func (c *Comm) SetFinalize(f func([]float32)) { c.finalize = f }
+
+// Tag bases; collectives use disjoint spaces from internal/ring.
+const (
+	tagBcast   = 4000
+	tagReduce  = 5000
+	tagGather  = 6000
+	tagBarrier = 7000
+)
+
+// AllReduce sums vec elementwise across all ranks, in place, using the
+// gradient-centric ring exchange (Algorithm 1). All ranks must call it
+// concurrently with equal-length vectors.
+func (c *Comm) AllReduce(vec []float32) {
+	ring.AllReduce(c.e, vec, c.tos, c.finalize)
+}
+
+// Bcast distributes root's vec to all ranks, in place, over a binomial
+// tree (log₂ p rounds, matching the (1+log p)·α latency term of the
+// paper's cost model). Broadcast payloads are weights in this codebase, so
+// they are never ToS-tagged regardless of CollectiveCommComp.
+func (c *Comm) Bcast(vec []float32, root int) {
+	n, rank := c.Size(), c.Rank()
+	if n == 1 {
+		return
+	}
+	// Rotate ranks so the root is virtual rank 0, then walk the binomial
+	// tree from the widest stride down: at stride d, every rank that
+	// already holds the data (vrank ≡ 0 mod 2d) forwards to vrank+d. A
+	// rank receives exactly once, at the stride equal to its lowest set
+	// bit, by which time its sender is guaranteed to hold the data.
+	vrank := (rank - root + n) % n
+	received := vrank == 0
+	top := 1
+	for top < n {
+		top *= 2
+	}
+	for dist := top / 2; dist >= 1; dist /= 2 {
+		switch {
+		case vrank%(2*dist) == 0:
+			if received && vrank+dist < n {
+				peer := (vrank + dist + root) % n
+				c.e.Send(peer, vec, 0, tagBcast+dist)
+			}
+		case vrank%(2*dist) == dist:
+			peer := (vrank - dist + root) % n
+			copy(vec, c.e.Recv(peer, tagBcast+dist))
+			received = true
+		}
+	}
+	if !received {
+		panic(fmt.Sprintf("mpi: rank %d never received broadcast", rank))
+	}
+}
+
+// Reduce sums vec elementwise across ranks into root's vec (other ranks'
+// vectors are left untouched), over a binomial tree. Reduce payloads are
+// gradients, so the ToS flag applies.
+func (c *Comm) Reduce(vec []float32, root int) {
+	n, rank := c.Size(), c.Rank()
+	if n == 1 {
+		return
+	}
+	vrank := (rank - root + n) % n
+	acc := vec
+	if vrank != 0 {
+		acc = append([]float32(nil), vec...)
+	}
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank%(2*dist) == 0 {
+			if vrank+dist < n {
+				peer := (vrank + dist + root) % n
+				rb := c.e.Recv(peer, tagReduce+dist)
+				for i, v := range rb {
+					acc[i] += v
+				}
+			}
+		} else if vrank%(2*dist) == dist {
+			peer := (vrank - dist + root) % n
+			c.e.Send(peer, acc, c.tos, tagReduce+dist)
+			break
+		}
+	}
+}
+
+// Gather collects every rank's vec at root, returned indexed by rank; other
+// ranks receive nil. Vectors may differ in length.
+func (c *Comm) Gather(vec []float32, root int) [][]float32 {
+	n, rank := c.Size(), c.Rank()
+	if rank != root {
+		c.e.Send(root, vec, c.tos, tagGather)
+		return nil
+	}
+	out := make([][]float32, n)
+	out[rank] = append([]float32(nil), vec...)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.e.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Barrier blocks until all ranks have entered it.
+func (c *Comm) Barrier() {
+	// Reduce a token to rank 0, then broadcast it back.
+	token := []float32{1}
+	c.reduceNoToS(token, 0)
+	c.Bcast(token, 0)
+}
+
+// reduceNoToS is Reduce with compression forced off (barrier tokens should
+// not depend on the codec).
+func (c *Comm) reduceNoToS(vec []float32, root int) {
+	saved := c.tos
+	c.tos = 0
+	defer func() { c.tos = saved }()
+	// Reuse the Reduce topology with a distinct tag space by shifting the
+	// payload through tagBarrier-based tags.
+	n, rank := c.Size(), c.Rank()
+	if n == 1 {
+		return
+	}
+	vrank := (rank - root + n) % n
+	acc := vec
+	if vrank != 0 {
+		acc = append([]float32(nil), vec...)
+	}
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank%(2*dist) == 0 {
+			if vrank+dist < n {
+				peer := (vrank + dist + root) % n
+				rb := c.e.Recv(peer, tagBarrier+dist)
+				for i, v := range rb {
+					acc[i] += v
+				}
+			}
+		} else if vrank%(2*dist) == dist {
+			peer := (vrank - dist + root) % n
+			c.e.Send(peer, acc, 0, tagBarrier+dist)
+			break
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package netsim simulates the timing behaviour of the paper's testbed
+// network: nodes attached to a 10 Gb Ethernet switch, exchanging the
+// gradient/weight traffic of the two distributed training algorithms.
+//
+// The model captures the four effects that shape the paper's measured
+// numbers (Table II, Figs. 12 and 15):
+//
+//  1. Aggregate link capacity. A link carries at most LineRate bytes/s no
+//     matter how many TCP streams share it — this is what saturates the
+//     aggregator's links (the incast bottleneck).
+//  2. Single-stream goodput. One TCP stream achieves only
+//     StreamEfficiency × LineRate (untuned 10 GbE reality); the ring
+//     exchange runs one stream per link, the aggregator enjoys p
+//     concurrent streams.
+//  3. Per-packet software cost. Every packet costs PerPacketTime of
+//     driver/stack work on its stream. NIC compression shrinks payloads
+//     but NOT the packet count (it compresses per packet), so transfer
+//     time has a per-packet floor — the paper's observation that
+//     compression ratio is "not necessarily proportional" to the
+//     reduction in communication time and that relaxed error bounds give
+//     only marginal additional gains.
+//  4. Summation rate. Sum-reduction costs 1/SumRate seconds per byte,
+//     concentrated at the aggregator in WA but spread across workers in
+//     the ring algorithm.
+package netsim
+
+import (
+	"fmt"
+
+	"inceptionn/internal/comm"
+)
+
+// Params describe the simulated cluster.
+type Params struct {
+	LineRate         float64 // link capacity, bytes/s (full duplex per direction)
+	StreamEfficiency float64 // fraction of LineRate one stream can reach
+	PerPacketTime    float64 // driver+stack seconds per packet per stream
+	Latency          float64 // propagation + switch latency per hop (s)
+	SumRate          float64 // gradient summation, bytes/s
+}
+
+// Default10GbE returns parameters calibrated so that the simulated
+// worker-aggregator exchange reproduces the communication column of the
+// paper's Table II (see trainsim tests): 10 Gb/s links, 45% single-stream
+// goodput, 1.1 µs per-packet software cost, 30 µs hop latency, 8 GB/s
+// summation.
+func Default10GbE() Params {
+	return Params{
+		LineRate:         1.25e9,
+		StreamEfficiency: 0.45,
+		PerPacketTime:    1.1e-6,
+		Latency:          30e-6,
+		SumRate:          8e9,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.LineRate <= 0 || p.SumRate <= 0 {
+		return fmt.Errorf("netsim: non-positive rate in %+v", p)
+	}
+	if p.StreamEfficiency <= 0 || p.StreamEfficiency > 1 {
+		return fmt.Errorf("netsim: stream efficiency %g out of (0,1]", p.StreamEfficiency)
+	}
+	if p.PerPacketTime < 0 || p.Latency < 0 {
+		return fmt.Errorf("netsim: negative overhead in %+v", p)
+	}
+	return nil
+}
+
+// Traffic describes one logical message on the wire.
+type Traffic struct {
+	WireBytes int64 // payload after any compression, plus packet headers
+	Packets   int64 // packet count (unchanged by in-NIC compression)
+}
+
+// Plain returns the traffic for n uncompressed payload bytes.
+func Plain(n int64) Traffic {
+	packets := (n + comm.MSS - 1) / comm.MSS
+	if packets == 0 {
+		packets = 1
+	}
+	return Traffic{WireBytes: n + packets*comm.HeaderBytes, Packets: packets}
+}
+
+// NICCompressed returns the traffic for n raw payload bytes compressed in
+// the NIC by the given ratio. The packet count stays that of the RAW
+// payload: the engine shrinks each packet's payload in place.
+func NICCompressed(n int64, ratio float64) Traffic {
+	if ratio < 1 {
+		ratio = 1
+	}
+	packets := (n + comm.MSS - 1) / comm.MSS
+	if packets == 0 {
+		packets = 1
+	}
+	payload := int64(float64(n) / ratio)
+	return Traffic{WireBytes: payload + packets*comm.HeaderBytes, Packets: packets}
+}
+
+// SoftwareCompressed returns the traffic for n raw bytes compressed in
+// software: the payload is packetized after compression, so the packet
+// count does shrink — but the caller must separately account the codec's
+// CPU time (see trainsim).
+func SoftwareCompressed(n int64, ratio float64) Traffic {
+	if ratio < 1 {
+		ratio = 1
+	}
+	return Plain(int64(float64(n) / ratio))
+}
+
+// StreamTime returns the time for one stream to push t over a link it
+// shares with `sharing` concurrent streams (including itself): the
+// bandwidth term is bounded by both the per-stream goodput ceiling and the
+// fair share of line rate, and the per-packet software cost provides the
+// floor.
+func (p Params) StreamTime(t Traffic, sharing int) float64 {
+	if sharing < 1 {
+		sharing = 1
+	}
+	rate := p.StreamEfficiency * p.LineRate
+	if share := p.LineRate / float64(sharing); share < rate {
+		rate = share
+	}
+	wire := float64(t.WireBytes) / rate
+	stack := float64(t.Packets) * p.PerPacketTime
+	if stack > wire {
+		return stack
+	}
+	return wire
+}
+
+// SumTime returns the time to sum-reduce n bytes of float32 data once.
+func (p Params) SumTime(n int64) float64 { return float64(n) / p.SumRate }
+
+// Exchange is a timed breakdown of one gradient/weight exchange.
+type Exchange struct {
+	Transfer float64 // serialization + stack time on the critical path
+	Sum      float64 // summation time on the critical path
+	Latency  float64 // propagation on the critical path
+}
+
+// Total returns the critical-path exchange time.
+func (e Exchange) Total() float64 { return e.Transfer + e.Sum + e.Latency }
+
+// WorkerAggregator simulates one iteration of the conventional exchange
+// (paper Fig. 2) with p workers and one aggregator: all workers send their
+// gradient (gradUp traffic each) concurrently into the aggregator's link,
+// the aggregator sums p vectors of modelBytes, then broadcasts the updated
+// weights (weightDown traffic each) from its single uplink.
+func (p Params) WorkerAggregator(workers int, modelBytes int64, gradUp, weightDown Traffic) Exchange {
+	// Incast: p streams share the aggregator's downlink.
+	up := p.StreamTime(gradUp, workers)
+	// Aggregation of p vectors: (p-1) pairwise adds over modelBytes.
+	sum := float64(workers-1) * p.SumTime(modelBytes)
+	// Broadcast: p streams share the aggregator's uplink.
+	down := p.StreamTime(weightDown, workers)
+	return Exchange{
+		Transfer: up + down,
+		Sum:      sum,
+		Latency:  4 * p.Latency, // two worker↔switch↔aggregator traversals
+	}
+}
+
+// Broadcast returns the time for one node to send t to fanout receivers
+// concurrently: its uplink is the shared resource.
+func (p Params) Broadcast(t Traffic, fanout int) float64 {
+	if fanout < 1 {
+		return 0
+	}
+	// Aggregate limited by the uplink; each stream also bounded by the
+	// per-stream ceiling and the per-packet floor.
+	aggregate := float64(int64(fanout)*t.WireBytes) / p.LineRate
+	perStream := p.StreamTime(t, fanout)
+	if perStream > aggregate {
+		return perStream
+	}
+	return aggregate
+}
+
+// Hierarchical simulates one exchange of the paper's Fig. 1b/1c
+// organizations: groups×groupSize workers run intra-group rings in
+// parallel (level 1), the group leaders exchange the group sums (level 2
+// — an aggregator tree when tree is true, a ring of leaders otherwise),
+// and each leader broadcasts the global result inside its group (level 3).
+// blockTraffic is one intra-group ring block; leaderTraffic is the whole
+// model as sent between leaders (or leader blocks for the leader ring);
+// resultDown is the whole model sent down to group members.
+func (p Params) Hierarchical(groups, groupSize int, modelBytes int64, tree bool,
+	blockTraffic, leaderTraffic, resultDown Traffic) Exchange {
+
+	level1 := p.Ring(groupSize, modelBytes, blockTraffic)
+	var level2 Exchange
+	if tree {
+		level2 = p.WorkerAggregator(groups, modelBytes, leaderTraffic, resultDown)
+	} else {
+		level2 = p.Ring(groups, modelBytes, leaderTraffic)
+	}
+	level3 := p.Broadcast(resultDown, groupSize-1)
+	return Exchange{
+		Transfer: level1.Transfer + level2.Transfer + level3,
+		Sum:      level1.Sum + level2.Sum,
+		Latency:  level1.Latency + level2.Latency + 2*p.Latency,
+	}
+}
+
+// Ring simulates one iteration of the gradient-centric exchange
+// (Algorithm 1) with p workers: 2(p−1) pipeline steps, each moving one
+// block of blockTraffic over every ring link simultaneously (one stream
+// per link), with a per-block sum in the first p−1 steps.
+func (p Params) Ring(workers int, modelBytes int64, blockTraffic Traffic) Exchange {
+	if workers < 2 {
+		return Exchange{}
+	}
+	blockBytes := modelBytes / int64(workers)
+	step := p.StreamTime(blockTraffic, 1)
+	steps := float64(2 * (workers - 1))
+	sum := float64(workers-1) * p.SumTime(blockBytes)
+	return Exchange{
+		Transfer: steps * step,
+		Sum:      sum,
+		Latency:  steps * 2 * p.Latency, // each step crosses the switch
+	}
+}

@@ -1,0 +1,148 @@
+package nic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"inceptionn/internal/bitio"
+	"inceptionn/internal/fpcodec"
+)
+
+// TestBurstDecompressorBitExact: the Burst Buffer state machine must decode
+// exactly what the abstract stream decoder does.
+func TestBurstDecompressorBitExact(t *testing.T) {
+	for _, e := range []int{6, 8, 10} {
+		bound := fpcodec.MustBound(e)
+		for _, n := range []int{1, 7, 8, 9, 63, 64, 65, 1000} {
+			payload := gradientVector(n, int64(100*e+n))
+			ce := NewCompressionEngine(bound)
+			data, bits := ce.CompressPayload(payload)
+
+			bd := NewBurstDecompressor(bound, data, bits)
+			got, err := bd.DecompressAll(n)
+			if err != nil {
+				t.Fatalf("E=%d n=%d: %v", e, n, err)
+			}
+			want := make([]float32, n)
+			if err := fpcodec.DecompressStream(bitio.NewReader(data, bits), want, bound); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("E=%d n=%d value %d: burst %g vs stream %g", e, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBurstDecompressorStraddling: groups with 34-bit lanes straddle burst
+// boundaries (a full group can reach 272 > 256 bits), exactly the case the
+// 512-bit Burst Buffer exists for.
+func TestBurstDecompressorStraddling(t *testing.T) {
+	bound := fpcodec.MustBound(10)
+	// All values >= 1.0: every lane is a 34-bit no-compress encoding, so
+	// every group is 16 + 8x32 = 272 bits — guaranteed straddling.
+	payload := make([]float32, 64)
+	for i := range payload {
+		payload[i] = 1.5 + float32(i)
+	}
+	ce := NewCompressionEngine(bound)
+	data, bits := ce.CompressPayload(payload)
+	if bits != 8*272 {
+		t.Fatalf("compressed to %d bits, want %d", bits, 8*272)
+	}
+	bd := NewBurstDecompressor(bound, data, bits)
+	got, err := bd.DecompressAll(len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payload {
+		if got[i] != payload[i] {
+			t.Fatalf("value %d: %g != %g", i, got[i], payload[i])
+		}
+	}
+	if bd.Stalls() == 0 {
+		t.Error("straddling groups should stall the buffer at least once")
+	}
+}
+
+func TestBurstDecompressorCycleAccounting(t *testing.T) {
+	bound := fpcodec.MustBound(10)
+	payload := make([]float32, 80) // all below bound: 16-bit groups
+	ce := NewCompressionEngine(bound)
+	data, bits := ce.CompressPayload(payload)
+	bd := NewBurstDecompressor(bound, data, bits)
+	if _, err := bd.DecompressAll(len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	// 10 groups of 16 bits each: 160 bits arrive in one refill; 10 emit
+	// cycles plus 1 stall/refill cycle.
+	if bd.Cycles() != 11 || bd.Stalls() != 1 {
+		t.Errorf("cycles=%d stalls=%d, want 11/1", bd.Cycles(), bd.Stalls())
+	}
+}
+
+func TestBurstDecompressorTruncatedStream(t *testing.T) {
+	bound := fpcodec.MustBound(10)
+	payload := gradientVector(100, 1)
+	ce := NewCompressionEngine(bound)
+	data, bits := ce.CompressPayload(payload)
+	bd := NewBurstDecompressor(bound, data, bits/2)
+	if _, err := bd.DecompressAll(100); err == nil {
+		t.Fatal("expected error on truncated stream")
+	}
+}
+
+func TestBurstDecompressorRejectsOversizedDeclaration(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBurstDecompressor(fpcodec.MustBound(10), []byte{1, 2}, 100)
+}
+
+func TestQuickBurstEqualsStream(t *testing.T) {
+	f := func(seed int64, nRaw uint16, eRaw uint8) bool {
+		n := int(nRaw)%300 + 1
+		e := int(eRaw)%15 + 1
+		bound := fpcodec.MustBound(e)
+		payload := gradientVector(n, seed)
+		ce := NewCompressionEngine(bound)
+		data, bits := ce.CompressPayload(payload)
+		bd := NewBurstDecompressor(bound, data, bits)
+		got, err := bd.DecompressAll(n)
+		if err != nil {
+			return false
+		}
+		want := make([]float32, n)
+		if err := fpcodec.DecompressStream(bitio.NewReader(data, bits), want, bound); err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBurstDecompressor(b *testing.B) {
+	bound := fpcodec.MustBound(10)
+	payload := gradientVector(64*1024, 1)
+	ce := NewCompressionEngine(bound)
+	data, bits := ce.CompressPayload(payload)
+	b.SetBytes(int64(4 * len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd := NewBurstDecompressor(bound, data, bits)
+		if _, err := bd.DecompressAll(len(payload)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package nic models the paper's FPGA NIC datapath (Figs. 8–10): a
+// Compression Engine and a Decompression Engine inserted between the
+// packet DMA and the 10G Ethernet MACs, processing packets in 256-bit AXI
+// bursts at 100 MHz.
+//
+// The Compression Engine inspects the ToS field of each packet at the
+// first burst; packets tagged 0x28 have their payload routed through a
+// Compression Unit of eight parallel Compression Blocks (CBs), each
+// encoding one 32-bit float per cycle into a {0, 8, 16, 32}-bit vector
+// plus a 2-bit tag. An Alignment Unit concatenates the eight variable-size
+// vectors behind the 16-bit tag word, producing 16–272 bits per input
+// burst, and re-packs the result into outgoing 256-bit bursts.
+//
+// The Decompression Engine mirrors this with a 512-bit Burst Buffer (a
+// compressed group may straddle two bursts), a Tag Decoder that computes
+// the eight lane sizes, and eight Decompression Blocks (DBs).
+//
+// The engines here are bit-exact against the reference stream codec in
+// internal/fpcodec (cross-checked by tests) and additionally account
+// cycles, giving the latency/throughput numbers used by the simulator.
+package nic
+
+import (
+	"fmt"
+
+	"inceptionn/internal/bitio"
+	"inceptionn/internal/comm"
+	"inceptionn/internal/fpcodec"
+)
+
+// Hardware constants from the paper's Sec. VI/VII.
+const (
+	// BurstBits is the AXI-stream width: bits delivered per cycle.
+	BurstBits = 256
+	// BurstBytes is the burst width in bytes.
+	BurstBytes = BurstBits / 8
+	// LanesPerBurst is the number of CBs/DBs: 32-bit values per burst.
+	LanesPerBurst = BurstBits / 32
+	// ClockHz is the engine clock: 100 MHz.
+	ClockHz = 100_000_000
+)
+
+// CompressionEngine is the burst-level compressor (paper Fig. 9).
+type CompressionEngine struct {
+	Bound fpcodec.Bound
+
+	// Alignment Unit state: pending output bits not yet a full burst.
+	acc *bitio.Writer
+
+	// Cycle accounting.
+	cycles int64
+}
+
+// NewCompressionEngine returns an engine with the given error bound.
+func NewCompressionEngine(bound fpcodec.Bound) *CompressionEngine {
+	return &CompressionEngine{Bound: bound, acc: bitio.NewWriter(4 * BurstBytes)}
+}
+
+// Cycles returns the total engine cycles consumed so far.
+func (e *CompressionEngine) Cycles() int64 { return e.cycles }
+
+// CompressPayload runs a full packet payload (a float32 vector) through
+// the engine: one cycle per input burst of eight values. It returns the
+// compressed byte stream and its exact bit length. The engine is flushed
+// per packet (hardware emits the final partial burst zero-padded when the
+// packet ends).
+func (e *CompressionEngine) CompressPayload(payload []float32) (data []byte, bits int) {
+	e.acc.Reset()
+	for off := 0; off < len(payload); off += LanesPerBurst {
+		hi := off + LanesPerBurst
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		e.compressBurst(payload[off:hi])
+	}
+	return e.acc.Bytes(), e.acc.Len()
+}
+
+// compressBurst feeds one burst (≤8 lanes) through the Compression Unit
+// and Alignment Unit: 16-bit tag vector + 0–256 data bits.
+func (e *CompressionEngine) compressBurst(lanes []float32) {
+	fpcodec.CompressGroup(e.acc, lanes, e.Bound)
+	e.cycles++
+}
+
+// DecompressionEngine is the burst-level decompressor (paper Fig. 10).
+type DecompressionEngine struct {
+	Bound fpcodec.Bound
+
+	cycles int64
+}
+
+// NewDecompressionEngine returns an engine with the given error bound.
+func NewDecompressionEngine(bound fpcodec.Bound) *DecompressionEngine {
+	return &DecompressionEngine{Bound: bound}
+}
+
+// Cycles returns the total engine cycles consumed so far.
+func (e *DecompressionEngine) Cycles() int64 { return e.cycles }
+
+// DecompressPayload decodes a compressed packet payload back into count
+// float32 values. The Burst Buffer semantics — a compressed group may
+// straddle two 256-bit bursts, so the decoder holds up to 512 bits before
+// emitting — cost one cycle per produced output burst plus one fill cycle.
+func (e *DecompressionEngine) DecompressPayload(data []byte, bits, count int) ([]float32, error) {
+	r := bitio.NewReader(data, bits)
+	out := make([]float32, count)
+	for off := 0; off < count; off += LanesPerBurst {
+		hi := off + LanesPerBurst
+		if hi > count {
+			hi = count
+		}
+		if err := fpcodec.DecompressGroup(r, out[off:hi], e.Bound); err != nil {
+			return nil, fmt.Errorf("nic: burst at value %d: %w", off, err)
+		}
+		e.cycles++
+	}
+	e.cycles++ // initial Burst Buffer fill
+	return out, nil
+}
+
+// CompressionCycles returns the cycles needed to compress n float32 values
+// (one per input burst), without running data through an engine.
+func CompressionCycles(n int) int64 {
+	return int64((n + LanesPerBurst - 1) / LanesPerBurst)
+}
+
+// EngineSeconds converts engine cycles to seconds at the 100 MHz clock.
+func EngineSeconds(cycles int64) float64 {
+	return float64(cycles) / ClockHz
+}
+
+// Processor is a comm.WireProcessor backed by the hardware engine models:
+// the full NIC datapath of Fig. 8. Payloads tagged comm.ToSCompress are
+// compressed by a CompressionEngine on the sender NIC and decompressed by
+// a DecompressionEngine on the receiver NIC; all other traffic bypasses
+// the engines, exactly as the ToS comparator in the paper routes packets.
+type Processor struct {
+	Bound fpcodec.Bound
+}
+
+// Process implements comm.WireProcessor.
+func (p Processor) Process(payload []float32, tos uint8) ([]float32, int64) {
+	if tos != comm.ToSCompress {
+		return payload, 4 * int64(len(payload))
+	}
+	ce := NewCompressionEngine(p.Bound)
+	data, bits := ce.CompressPayload(payload)
+	de := NewDecompressionEngine(p.Bound)
+	out, err := de.DecompressPayload(data, bits, len(payload))
+	if err != nil {
+		panic(fmt.Sprintf("nic: engine roundtrip failed: %v", err))
+	}
+	// On the wire the payload occupies whole bytes of compressed stream.
+	return out, int64(len(data))
+}
+
+var _ comm.WireProcessor = Processor{}

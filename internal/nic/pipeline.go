@@ -1,0 +1,61 @@
+package nic
+
+// Pipeline timing model for the NIC datapath of Fig. 8: packet DMA →
+// Compression Engine → virtual FIFO → 10G Ethernet MAC (egress), and the
+// mirror for ingress. The engines process one 256-bit burst per 100 MHz
+// cycle (25.6 Gb/s), while the MAC drains at the 10 GbE line rate — so the
+// engine is never the bottleneck and only adds pipeline latency, which is
+// the paper's integration requirement ("do not affect the operating
+// frequency and bandwidth").
+
+// LineRateBitsPerSec is the 10 GbE MAC drain rate.
+const LineRateBitsPerSec = 10e9
+
+// EgressTiming describes one packet payload's trip through the egress path.
+type EgressTiming struct {
+	// EngineSeconds is the time the Compression Engine needs to ingest the
+	// whole payload (one burst per cycle).
+	EngineSeconds float64
+	// WireSeconds is the time the MAC needs to serialize the compressed
+	// payload at line rate.
+	WireSeconds float64
+	// TotalSeconds is the pipelined completion time: the slower stage
+	// dominates, the faster adds only its first-burst latency.
+	TotalSeconds float64
+	// EngineBound reports whether the engine (rather than the wire) was
+	// the pipelined bottleneck. This happens exactly when the compression
+	// ratio exceeds 25.6/10 = 2.56: the wire then wants raw input faster
+	// than the engine's 25.6 Gb/s. The path is still strictly faster than
+	// an uncompressed wire — throughput saturates at 2.56x line rate
+	// rather than growing with the ratio, which is one more reason the
+	// paper observes diminishing returns from relaxed error bounds.
+	EngineBound bool
+}
+
+// EgressTime models compressing and transmitting a payload of n float32
+// values that compresses to compressedBits.
+func EgressTime(n int, compressedBits int64) EgressTiming {
+	engine := EngineSeconds(CompressionCycles(n))
+	wire := float64(compressedBits) / LineRateBitsPerSec
+	t := EgressTiming{EngineSeconds: engine, WireSeconds: wire}
+	// Stages stream burst by burst: completion = max stage time + one
+	// burst of latency through the other stage.
+	burstLatency := 1.0 / ClockHz
+	if engine > wire {
+		t.EngineBound = true
+		t.TotalSeconds = engine + float64(BurstBits)/LineRateBitsPerSec
+	} else {
+		t.TotalSeconds = wire + burstLatency
+	}
+	return t
+}
+
+// EngineSlowdown returns the compressed path's completion time relative to
+// an uncompressed-wire baseline for a payload of n floats compressing by
+// ratio (<1 means faster). It approaches 1/ratio for small ratios and
+// saturates at 10/25.6 ≈ 0.39 once the engine's ingest rate binds.
+func EngineSlowdown(n int, ratio float64) float64 {
+	raw := float64(32*int64(n)) / LineRateBitsPerSec
+	compressedBits := int64(float64(32*int64(n)) / ratio)
+	return EgressTime(n, compressedBits).TotalSeconds / raw
+}

@@ -1,0 +1,74 @@
+package nic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestEngineBottleneckThreshold: the engine ingests raw data at 25.6 Gb/s,
+// so it becomes the pipelined bottleneck exactly when the compression
+// ratio exceeds 25.6/10 = 2.56 — and is never one below that. Either way
+// the compressed path beats the uncompressed wire (see the slowdown test).
+func TestEngineBottleneckThreshold(t *testing.T) {
+	for _, n := range []int{8, 1000, 1 << 20} {
+		for _, ratio := range []float64{1, 2, 2.5} {
+			bits := int64(float64(32*int64(n)) / ratio)
+			if timing := EgressTime(n, bits); timing.EngineBound {
+				t.Errorf("n=%d ratio=%g: engine bound below the 2.56 threshold", n, ratio)
+			}
+		}
+	}
+	for _, ratio := range []float64{3, 10, 16} {
+		n := 1 << 20
+		bits := int64(float64(32*int64(n)) / ratio)
+		if timing := EgressTime(n, bits); !timing.EngineBound {
+			t.Errorf("ratio=%g: engine should bind above the 2.56 threshold", ratio)
+		}
+	}
+}
+
+func TestEgressTimeDominatedByWire(t *testing.T) {
+	n := 1 << 20          // 4 MB payload
+	bits := int64(32 * n) // uncompressed
+	timing := EgressTime(n, bits)
+	wantWire := float64(bits) / LineRateBitsPerSec
+	if math.Abs(timing.WireSeconds-wantWire) > 1e-12 {
+		t.Errorf("wire = %g, want %g", timing.WireSeconds, wantWire)
+	}
+	// Total exceeds the wire time by exactly one engine cycle of latency.
+	if math.Abs(timing.TotalSeconds-(wantWire+1.0/ClockHz)) > 1e-12 {
+		t.Errorf("total = %g", timing.TotalSeconds)
+	}
+	if timing.EngineSeconds >= timing.WireSeconds {
+		t.Errorf("engine %g not faster than wire %g", timing.EngineSeconds, timing.WireSeconds)
+	}
+}
+
+// TestEngineSlowdownIsActuallySpeedup: relative to an uncompressed wire,
+// the compressed pipeline is min(ratio, 2.56)x faster and never slower.
+func TestEngineSlowdownIsActuallySpeedup(t *testing.T) {
+	for _, ratio := range []float64{2, 5, 10, 15} {
+		s := EngineSlowdown(1<<20, ratio)
+		if s > 1 {
+			t.Errorf("ratio %g: slowdown %g > 1", ratio, s)
+		}
+		want := 1 / ratio
+		if floor := 10.0 / 25.6; want < floor {
+			want = floor
+		}
+		if math.Abs(s-want) > 0.01 {
+			t.Errorf("ratio %g: slowdown %g, want ~%g", ratio, s, want)
+		}
+	}
+	// Ratio 1 (incompressible traffic): at worst one cycle of latency.
+	if s := EngineSlowdown(1<<20, 1); s > 1.001 {
+		t.Errorf("incompressible slowdown %g", s)
+	}
+}
+
+func TestEgressTinyPayload(t *testing.T) {
+	timing := EgressTime(4, 16) // half a burst, nearly empty
+	if timing.TotalSeconds <= 0 {
+		t.Errorf("total = %g", timing.TotalSeconds)
+	}
+}

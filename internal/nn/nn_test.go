@@ -1,0 +1,444 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inceptionn/internal/tensor"
+)
+
+// numericalGrad estimates dLoss/dtheta by central differences for a single
+// scalar parameter location.
+func numericalGrad(loss func() float64, theta *float32) float64 {
+	const eps = 1e-3
+	orig := *theta
+	*theta = orig + eps
+	up := loss()
+	*theta = orig - eps
+	down := loss()
+	*theta = orig
+	return (up - down) / (2 * eps)
+}
+
+// checkLayerGradients drives a layer with a scalar loss sum(out²)/2 and
+// compares analytic parameter and input gradients against numerical ones.
+func checkLayerGradients(t *testing.T, layer Layer, x *tensor.Tensor, tol float64) {
+	t.Helper()
+	lossOf := func() float64 {
+		out := layer.Forward(x, true)
+		var s float64
+		for _, v := range out.Data {
+			s += 0.5 * float64(v) * float64(v)
+		}
+		return s
+	}
+	out := layer.Forward(x, true)
+	dout := out.Clone() // dL/dout = out for our quadratic loss
+	for _, p := range layer.Params() {
+		p.G.Zero()
+	}
+	dx := layer.Backward(dout)
+
+	for _, p := range layer.Params() {
+		n := p.W.Len()
+		stride := n/5 + 1
+		for i := 0; i < n; i += stride {
+			want := numericalGrad(lossOf, &p.W.Data[i])
+			got := float64(p.G.Data[i])
+			if math.Abs(got-want) > tol*(math.Abs(want)+1) {
+				t.Errorf("%s[%d]: analytic %g, numerical %g", p.Name, i, got, want)
+			}
+		}
+	}
+	stride := x.Len()/5 + 1
+	for i := 0; i < x.Len(); i += stride {
+		want := numericalGrad(lossOf, &x.Data[i])
+		got := float64(dx.Data[i])
+		if math.Abs(got-want) > tol*(math.Abs(want)+1) {
+			t.Errorf("dx[%d]: analytic %g, numerical %g", i, got, want)
+		}
+	}
+}
+
+func TestDenseGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense("fc", 6, 4, rng)
+	x := tensor.New(3, 6)
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, d, x, 1e-2)
+}
+
+func TestConvGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2D("conv", 2, 3, 3, 1, 1, rng)
+	x := tensor.New(2, 2, 5, 5)
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, c, x, 2e-2)
+}
+
+func TestConvStrideGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2D("conv", 1, 2, 3, 2, 0, rng)
+	x := tensor.New(1, 1, 7, 7)
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, c, x, 2e-2)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	p := NewMaxPool2D(2, 2)
+	x := tensor.New(2, 2, 4, 4)
+	// Well-separated values avoid argmax ties that break finite differences.
+	perm := rng.Perm(x.Len())
+	for i := range x.Data {
+		x.Data[i] = float32(perm[i]) * 0.1
+	}
+	checkLayerGradients(t, p, x, 1e-2)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := NewGlobalAvgPool2D()
+	x := tensor.New(2, 3, 4, 4)
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, p, x, 1e-2)
+}
+
+func TestReLUForwardBackward(t *testing.T) {
+	r := NewReLU()
+	x := tensor.FromSlice([]float32{-1, 2, 0, 3}, 1, 4)
+	out := r.Forward(x, true)
+	want := []float32{0, 2, 0, 3}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("forward[%d] = %g, want %g", i, out.Data[i], want[i])
+		}
+	}
+	dout := tensor.FromSlice([]float32{10, 10, 10, 10}, 1, 4)
+	dx := r.Backward(dout)
+	wantDx := []float32{0, 10, 0, 10}
+	for i := range wantDx {
+		if dx.Data[i] != wantDx[i] {
+			t.Fatalf("backward[%d] = %g, want %g", i, dx.Data[i], wantDx[i])
+		}
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bn := NewBatchNorm2D("bn", 3)
+	x := tensor.New(4, 3, 2, 2)
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, bn, x, 5e-2)
+}
+
+func TestBatchNormNormalizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	bn := NewBatchNorm2D("bn", 2)
+	x := tensor.New(8, 2, 3, 3)
+	x.FillRandn(rng, 3)
+	for i := range x.Data {
+		x.Data[i] += 5 // shifted input
+	}
+	out := bn.Forward(x, true)
+	// Per-channel mean ~0, var ~1 after normalization with gamma=1, beta=0.
+	plane := 9
+	for c := 0; c < 2; c++ {
+		var mean float64
+		count := 0
+		for b := 0; b < 8; b++ {
+			data := out.Data[(b*2+c)*plane : (b*2+c+1)*plane]
+			for _, v := range data {
+				mean += float64(v)
+				count++
+			}
+		}
+		mean /= float64(count)
+		if math.Abs(mean) > 1e-4 {
+			t.Errorf("channel %d mean = %g", c, mean)
+		}
+	}
+}
+
+func TestBatchNormEvalUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	bn := NewBatchNorm2D("bn", 1)
+	x := tensor.New(4, 1, 2, 2)
+	for i := 0; i < 50; i++ {
+		x.FillRandn(rng, 2)
+		bn.Forward(x, true)
+	}
+	// In eval mode the same input twice must give identical output, and the
+	// output must not be exactly batch-normalized (running stats differ).
+	x.FillRandn(rng, 2)
+	a := bn.Forward(x, false)
+	b := bn.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("eval mode not deterministic")
+		}
+	}
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := NewDropout(0.5, rng)
+	x := tensor.New(1, 10000)
+	x.Fill(1)
+	out := d.Forward(x, true)
+	zeros, kept := 0, 0
+	for _, v := range out.Data {
+		if v == 0 {
+			zeros++
+		} else {
+			if math.Abs(float64(v)-2) > 1e-6 {
+				t.Fatalf("kept value %g, want 2 (inverted dropout)", v)
+			}
+			kept++
+		}
+	}
+	if zeros < 4500 || zeros > 5500 {
+		t.Errorf("dropped %d of 10000 at p=0.5", zeros)
+	}
+	evalOut := d.Forward(x, false)
+	for _, v := range evalOut.Data {
+		if v != 1 {
+			t.Fatal("eval mode must be identity")
+		}
+	}
+	_ = kept
+}
+
+func TestFlattenRoundtrip(t *testing.T) {
+	f := NewFlatten()
+	x := tensor.New(2, 3, 4, 5)
+	out := f.Forward(x, true)
+	if out.Shape[0] != 2 || out.Shape[1] != 60 {
+		t.Fatalf("flatten shape %v", out.Shape)
+	}
+	back := f.Backward(out)
+	if len(back.Shape) != 4 || back.Shape[3] != 5 {
+		t.Fatalf("unflatten shape %v", back.Shape)
+	}
+}
+
+func TestResidualIdentityGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	body := NewNetwork(
+		NewConv2D("c1", 2, 2, 3, 1, 1, rng),
+		NewReLU(),
+		NewConv2D("c2", 2, 2, 3, 1, 1, rng),
+	)
+	res := NewResidual(body, nil)
+	x := tensor.New(1, 2, 4, 4)
+	x.FillRandn(rng, 0.5)
+	checkLayerGradients(t, res, x, 3e-2)
+}
+
+func TestResidualProjectionGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	body := NewNetwork(
+		NewConv2D("c1", 2, 4, 3, 2, 1, rng),
+	)
+	proj := NewConv2D("proj", 2, 4, 1, 2, 0, rng)
+	res := NewResidual(body, proj)
+	x := tensor.New(1, 2, 4, 4)
+	x.FillRandn(rng, 0.5)
+	checkLayerGradients(t, res, x, 3e-2)
+}
+
+func TestSoftmaxCrossEntropyGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	logits := tensor.New(3, 5)
+	logits.FillRandn(rng, 1)
+	labels := []int{1, 4, 0}
+	var sce SoftmaxCrossEntropy
+	_, grad := sce.Loss(logits, labels)
+	for i := range logits.Data {
+		want := numericalGrad(func() float64 {
+			l, _ := sce.Loss(logits, labels)
+			return l
+		}, &logits.Data[i])
+		if math.Abs(float64(grad.Data[i])-want) > 1e-3 {
+			t.Errorf("grad[%d]: analytic %g, numerical %g", i, grad.Data[i], want)
+		}
+	}
+}
+
+func TestSoftmaxLossValueUniform(t *testing.T) {
+	// Uniform logits: loss = ln(classes).
+	logits := tensor.New(2, 10)
+	var sce SoftmaxCrossEntropy
+	loss, _ := sce.Loss(logits, []int{3, 7})
+	if math.Abs(loss-math.Log(10)) > 1e-6 {
+		t.Fatalf("uniform loss = %g, want ln10 = %g", loss, math.Log(10))
+	}
+}
+
+func TestPredictAndAccuracy(t *testing.T) {
+	logits := tensor.FromSlice([]float32{
+		0.1, 0.9, 0.0,
+		2.0, 1.0, 1.5,
+	}, 2, 3)
+	pred := Predict(logits)
+	if pred[0] != 1 || pred[1] != 0 {
+		t.Fatalf("Predict = %v", pred)
+	}
+	if acc := Accuracy(logits, []int{1, 2}); math.Abs(acc-0.5) > 1e-9 {
+		t.Fatalf("Accuracy = %g", acc)
+	}
+}
+
+func TestNetworkVectorRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	net := NewNetwork(
+		NewDense("fc1", 4, 8, rng),
+		NewReLU(),
+		NewDense("fc2", 8, 3, rng),
+	)
+	if net.NumParams() != 4*8+8+8*3+3 {
+		t.Fatalf("NumParams = %d", net.NumParams())
+	}
+	if net.SizeBytes() != int64(4*net.NumParams()) {
+		t.Fatalf("SizeBytes = %d", net.SizeBytes())
+	}
+	w := net.WeightVector(nil)
+	if len(w) != net.NumParams() {
+		t.Fatalf("WeightVector len = %d", len(w))
+	}
+	// Perturb and restore.
+	for i := range w {
+		w[i] += 1
+	}
+	net.SetWeightVector(w)
+	w2 := net.WeightVector(nil)
+	for i := range w {
+		if w2[i] != w[i] {
+			t.Fatal("SetWeightVector/WeightVector mismatch")
+		}
+	}
+
+	g := make([]float32, net.NumParams())
+	for i := range g {
+		g[i] = float32(i)
+	}
+	net.SetGradVector(g)
+	g2 := net.GradVector(nil)
+	for i := range g {
+		if g2[i] != g[i] {
+			t.Fatal("SetGradVector/GradVector mismatch")
+		}
+	}
+	net.ZeroGrads()
+	for _, v := range net.GradVector(nil) {
+		if v != 0 {
+			t.Fatal("ZeroGrads left nonzero gradient")
+		}
+	}
+}
+
+func TestGradAccumulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := NewDense("fc", 3, 2, rng)
+	x := tensor.New(2, 3)
+	x.FillRandn(rng, 1)
+	out := d.Forward(x, true)
+	dout := out.Clone()
+	for _, p := range d.Params() {
+		p.G.Zero()
+	}
+	d.Backward(dout)
+	once := d.Params()[0].G.Clone()
+	d.Forward(x, true)
+	d.Backward(dout)
+	twice := d.Params()[0].G
+	for i := range once.Data {
+		if math.Abs(float64(twice.Data[i]-2*once.Data[i])) > 1e-4 {
+			t.Fatalf("gradient not accumulated: %g vs 2*%g", twice.Data[i], once.Data[i])
+		}
+	}
+}
+
+// TestTinyNetworkLearnsXOR is an end-to-end sanity check: a 2-layer MLP
+// must fit XOR with plain gradient descent.
+func TestTinyNetworkLearnsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	net := NewNetwork(
+		NewDense("fc1", 2, 8, rng),
+		NewReLU(),
+		NewDense("fc2", 8, 2, rng),
+	)
+	x := tensor.FromSlice([]float32{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	var sce SoftmaxCrossEntropy
+	var loss float64
+	for it := 0; it < 2000; it++ {
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		var grad *tensor.Tensor
+		loss, grad = sce.Loss(logits, labels)
+		net.Backward(grad)
+		for _, p := range net.Params() {
+			p.W.Axpy(-0.1, p.G)
+		}
+	}
+	logits := net.Forward(x, false)
+	if acc := Accuracy(logits, labels); acc != 1 {
+		t.Fatalf("XOR accuracy = %g (loss %g)", acc, loss)
+	}
+}
+
+func TestLRNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	l := NewLRN()
+	x := tensor.New(2, 7, 3, 3) // more channels than the window
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, l, x, 2e-2)
+}
+
+func TestLRNNormalizesLargeActivations(t *testing.T) {
+	l := NewLRN()
+	x := tensor.New(1, 5, 1, 1)
+	x.Fill(100)
+	out := l.Forward(x, true)
+	for i, v := range out.Data {
+		if v >= 100 {
+			t.Fatalf("channel %d not suppressed: %g", i, v)
+		}
+	}
+	// Small activations pass nearly unchanged (denominator ~k^beta).
+	x.Fill(0.01)
+	out = l.Forward(x, true)
+	want := 0.01 * float32(math.Pow(2, -0.75))
+	for i, v := range out.Data {
+		if math.Abs(float64(v-want)) > 1e-6 {
+			t.Fatalf("channel %d: %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := NewAvgPool2D(2, 2)
+	x := tensor.New(2, 3, 4, 4)
+	x.FillRandn(rng, 1)
+	checkLayerGradients(t, p, x, 1e-2)
+}
+
+func TestAvgPoolValues(t *testing.T) {
+	p := NewAvgPool2D(2, 2)
+	x := tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := p.Forward(x, true)
+	want := []float32{3.5, 5.5, 11.5, 13.5}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("out[%d] = %g, want %g", i, out.Data[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"math"
+
+	"inceptionn/internal/tensor"
+)
+
+// BatchNorm2D normalizes each channel of a [B, C, H, W] activation over the
+// batch and spatial dimensions, with learnable scale (gamma) and shift
+// (beta) and running statistics for evaluation mode.
+type BatchNorm2D struct {
+	C        int
+	Momentum float64
+	Eps      float64
+
+	gamma, beta *Param
+
+	runMean, runVar []float64
+
+	// forward cache
+	xhat   *tensor.Tensor
+	invStd []float64
+	shape  []int
+}
+
+// NewBatchNorm2D constructs a batch-norm layer over c channels.
+func NewBatchNorm2D(name string, c int) *BatchNorm2D {
+	gamma := tensor.New(1, c)
+	gamma.Fill(1)
+	bn := &BatchNorm2D{
+		C: c, Momentum: 0.9, Eps: 1e-5,
+		gamma:   &Param{Name: name + ".gamma", W: gamma, G: tensor.New(1, c)},
+		beta:    &Param{Name: name + ".beta", W: tensor.New(1, c), G: tensor.New(1, c)},
+		runMean: make([]float64, c),
+		runVar:  make([]float64, c),
+		invStd:  make([]float64, c),
+	}
+	for i := range bn.runVar {
+		bn.runVar[i] = 1
+	}
+	return bn
+}
+
+// Forward implements Layer.
+func (bn *BatchNorm2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	batch, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	if ch != bn.C {
+		panic("nn: BatchNorm2D channel mismatch")
+	}
+	bn.shape = x.Shape
+	out := tensor.New(x.Shape...)
+	bn.xhat = tensor.New(x.Shape...)
+	plane := h * w
+	n := float64(batch * plane)
+	for c := 0; c < ch; c++ {
+		var mean, variance float64
+		if train {
+			for b := 0; b < batch; b++ {
+				data := x.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+				for _, v := range data {
+					mean += float64(v)
+				}
+			}
+			mean /= n
+			for b := 0; b < batch; b++ {
+				data := x.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+				for _, v := range data {
+					d := float64(v) - mean
+					variance += d * d
+				}
+			}
+			variance /= n
+			bn.runMean[c] = bn.Momentum*bn.runMean[c] + (1-bn.Momentum)*mean
+			bn.runVar[c] = bn.Momentum*bn.runVar[c] + (1-bn.Momentum)*variance
+		} else {
+			mean, variance = bn.runMean[c], bn.runVar[c]
+		}
+		invStd := 1 / math.Sqrt(variance+bn.Eps)
+		bn.invStd[c] = invStd
+		g := float64(bn.gamma.W.Data[c])
+		bta := float64(bn.beta.W.Data[c])
+		for b := 0; b < batch; b++ {
+			src := x.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			xh := bn.xhat.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			dst := out.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			for i, v := range src {
+				nv := (float64(v) - mean) * invStd
+				xh[i] = float32(nv)
+				dst[i] = float32(g*nv + bta)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer. Uses the standard batch-norm gradient:
+// dx = gamma*invStd/n * (n*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat)).
+func (bn *BatchNorm2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	batch, ch := bn.shape[0], bn.shape[1]
+	plane := bn.shape[2] * bn.shape[3]
+	n := float64(batch * plane)
+	dx := tensor.New(bn.shape...)
+	for c := 0; c < ch; c++ {
+		var sumDy, sumDyXhat float64
+		for b := 0; b < batch; b++ {
+			dy := dout.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			xh := bn.xhat.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			for i, v := range dy {
+				sumDy += float64(v)
+				sumDyXhat += float64(v) * float64(xh[i])
+			}
+		}
+		bn.gamma.G.Data[c] += float32(sumDyXhat)
+		bn.beta.G.Data[c] += float32(sumDy)
+		g := float64(bn.gamma.W.Data[c])
+		k := g * bn.invStd[c] / n
+		for b := 0; b < batch; b++ {
+			dy := dout.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			xh := bn.xhat.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			dst := dx.Data[(b*ch+c)*plane : (b*ch+c+1)*plane]
+			for i, v := range dy {
+				dst[i] = float32(k * (n*float64(v) - sumDy - float64(xh[i])*sumDyXhat))
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (bn *BatchNorm2D) Params() []*Param { return []*Param{bn.gamma, bn.beta} }

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format (little-endian):
+//
+//	u32 magic "INCW"
+//	u32 version (1)
+//	u32 parameter-tensor count
+//	per tensor: u32 name length, name bytes, u32 element count, elements
+const (
+	checkpointMagic   = 0x494E4357
+	checkpointVersion = 1
+)
+
+// Save writes the network's weights to w as a checkpoint.
+func (n *Network) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var head [12]byte
+	binary.LittleEndian.PutUint32(head[0:], checkpointMagic)
+	binary.LittleEndian.PutUint32(head[4:], checkpointVersion)
+	binary.LittleEndian.PutUint32(head[8:], uint32(len(n.params)))
+	if _, err := bw.Write(head[:]); err != nil {
+		return fmt.Errorf("nn: save header: %w", err)
+	}
+	var scratch [4]byte
+	for _, p := range n.params {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(p.Name)))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+		if _, err := bw.WriteString(p.Name); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+		binary.LittleEndian.PutUint32(scratch[:], uint32(p.W.Len()))
+		if _, err := bw.Write(scratch[:]); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+		for _, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
+			if _, err := bw.Write(scratch[:]); err != nil {
+				return fmt.Errorf("nn: save %s: %w", p.Name, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load restores weights saved by Save into the network. The checkpoint's
+// parameter names, order, and sizes must match the network exactly.
+func (n *Network) Load(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var head [12]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		return fmt.Errorf("nn: load header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head[0:]) != checkpointMagic {
+		return fmt.Errorf("nn: not a checkpoint (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+	}
+	count := int(binary.LittleEndian.Uint32(head[8:]))
+	if count != len(n.params) {
+		return fmt.Errorf("nn: checkpoint has %d tensors, network has %d", count, len(n.params))
+	}
+	var scratch [4]byte
+	for _, p := range n.params {
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return fmt.Errorf("nn: load %s: %w", p.Name, err)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(scratch[:]))
+		if nameLen > 4096 {
+			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("nn: load %s: %w", p.Name, err)
+		}
+		if string(name) != p.Name {
+			return fmt.Errorf("nn: checkpoint tensor %q, network expects %q", name, p.Name)
+		}
+		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+			return fmt.Errorf("nn: load %s: %w", p.Name, err)
+		}
+		if got := int(binary.LittleEndian.Uint32(scratch[:])); got != p.W.Len() {
+			return fmt.Errorf("nn: tensor %s has %d elements, network expects %d",
+				p.Name, got, p.W.Len())
+		}
+		for i := range p.W.Data {
+			if _, err := io.ReadFull(br, scratch[:]); err != nil {
+				return fmt.Errorf("nn: load %s[%d]: %w", p.Name, i, err)
+			}
+			p.W.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:]))
+		}
+	}
+	return nil
+}

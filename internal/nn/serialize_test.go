@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"inceptionn/internal/tensor"
+)
+
+func newRandomInput(rng *rand.Rand) *tensor.Tensor {
+	x := tensor.New(3, 8)
+	x.FillRandn(rng, 1)
+	return x
+}
+
+func testNet(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return NewNetwork(
+		NewDense("fc1", 8, 16, rng),
+		NewReLU(),
+		NewDense("fc2", 16, 4, rng),
+	)
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	src := testNet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := testNet(2) // different init
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a := src.WeightVector(nil)
+	b := dst.WeightVector(nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("weight %d differs after load", i)
+		}
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	n := testNet(1)
+	if err := n.Load(bytes.NewReader([]byte("not a checkpoint....."))); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad-magic error", err)
+	}
+}
+
+func TestLoadRejectsStructureMismatch(t *testing.T) {
+	src := testNet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	other := NewNetwork(NewDense("fc1", 8, 16, rng)) // fewer tensors
+	if err := other.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected tensor-count mismatch error")
+	}
+	sizeMismatch := NewNetwork(
+		NewDense("fc1", 8, 17, rng),
+		NewReLU(),
+		NewDense("fc2", 17, 4, rng),
+	)
+	if err := sizeMismatch.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	nameMismatch := NewNetwork(
+		NewDense("fcX", 8, 16, rng),
+		NewReLU(),
+		NewDense("fc2", 16, 4, rng),
+	)
+	if err := nameMismatch.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("expected name mismatch error")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	src := testNet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := testNet(2)
+	if err := dst.Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("expected error on truncated checkpoint")
+	}
+}
+
+func TestCheckpointPreservesBehaviour(t *testing.T) {
+	src := testNet(4)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := testNet(5)
+	if err := dst.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	x := newRandomInput(rng)
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("output %d differs after checkpoint restore", i)
+		}
+	}
+}

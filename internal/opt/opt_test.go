@@ -1,0 +1,150 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inceptionn/internal/nn"
+	"inceptionn/internal/tensor"
+)
+
+func TestSGDPlainStep(t *testing.T) {
+	p := &nn.Param{
+		W:     tensor.FromSlice([]float32{1, 2}, 2),
+		G:     tensor.FromSlice([]float32{0.5, -0.5}, 2),
+		Decay: true,
+	}
+	s := NewSGD(0.1, 0, 0)
+	s.Step([]*nn.Param{p})
+	if math.Abs(float64(p.W.Data[0])-0.95) > 1e-6 || math.Abs(float64(p.W.Data[1])-2.05) > 1e-6 {
+		t.Fatalf("weights after step: %v", p.W.Data)
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := &nn.Param{
+		W: tensor.FromSlice([]float32{0}, 1),
+		G: tensor.FromSlice([]float32{1}, 1),
+	}
+	s := NewSGD(0.1, 0.9, 0)
+	s.Step([]*nn.Param{p}) // v=-0.1, w=-0.1
+	s.Step([]*nn.Param{p}) // v=-0.19, w=-0.29
+	if math.Abs(float64(p.W.Data[0])+0.29) > 1e-6 {
+		t.Fatalf("w after two momentum steps = %g, want -0.29", p.W.Data[0])
+	}
+}
+
+func TestWeightDecayOnlyOnDecayParams(t *testing.T) {
+	w := &nn.Param{W: tensor.FromSlice([]float32{1}, 1), G: tensor.New(1), Decay: true}
+	b := &nn.Param{W: tensor.FromSlice([]float32{1}, 1), G: tensor.New(1), Decay: false}
+	s := NewSGD(0.1, 0, 0.5)
+	s.Step([]*nn.Param{w, b})
+	if math.Abs(float64(w.W.Data[0])-0.95) > 1e-6 {
+		t.Errorf("decayed weight = %g, want 0.95", w.W.Data[0])
+	}
+	if b.W.Data[0] != 1 {
+		t.Errorf("bias = %g, decay must not apply", b.W.Data[0])
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	// Minimize f(w) = 0.5*(w-3)²; gradient w-3.
+	p := &nn.Param{W: tensor.FromSlice([]float32{0}, 1), G: tensor.New(1)}
+	s := NewSGD(0.1, 0.9, 0)
+	for i := 0; i < 200; i++ {
+		p.G.Data[0] = p.W.Data[0] - 3
+		s.Step([]*nn.Param{p})
+	}
+	if math.Abs(float64(p.W.Data[0])-3) > 1e-3 {
+		t.Fatalf("converged to %g, want 3", p.W.Data[0])
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Base: 0.01, Factor: 10, Every: 1000}
+	cases := map[int]float64{0: 0.01, 999: 0.01, 1000: 0.001, 2500: 0.0001}
+	for it, want := range cases {
+		if got := s.At(it); math.Abs(got-want) > 1e-12 {
+			t.Errorf("At(%d) = %g, want %g", it, got, want)
+		}
+	}
+}
+
+func TestStepScheduleDegenerate(t *testing.T) {
+	s := StepSchedule{Base: 0.1}
+	if got := s.At(100000); got != 0.1 {
+		t.Errorf("no-schedule At = %g", got)
+	}
+}
+
+func TestSGDTrainsRealLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := nn.NewNetwork(
+		nn.NewDense("fc1", 2, 16, rng),
+		nn.NewReLU(),
+		nn.NewDense("fc2", 16, 2, rng),
+	)
+	x := tensor.FromSlice([]float32{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	var sce nn.SoftmaxCrossEntropy
+	sched := StepSchedule{Base: 0.2, Factor: 10, Every: 1500}
+	s := NewSGD(sched.Base, 0.9, 0)
+	for it := 0; it < 2000; it++ {
+		s.LR = sched.At(it)
+		net.ZeroGrads()
+		logits := net.Forward(x, true)
+		_, grad := sce.Loss(logits, labels)
+		net.Backward(grad)
+		s.Step(net.Params())
+	}
+	if acc := nn.Accuracy(net.Forward(x, false), labels); acc != 1 {
+		t.Fatalf("XOR accuracy with SGD+momentum = %g", acc)
+	}
+}
+
+func TestGradientClipping(t *testing.T) {
+	// Gradient [3, 4] has norm 5; clipped to norm 1 it becomes [0.6, 0.8].
+	p := &nn.Param{
+		W: tensor.FromSlice([]float32{0, 0}, 2),
+		G: tensor.FromSlice([]float32{3, 4}, 2),
+	}
+	s := NewSGD(1, 0, 0)
+	s.ClipNorm = 1
+	s.Step([]*nn.Param{p})
+	if math.Abs(float64(p.W.Data[0])+0.6) > 1e-6 || math.Abs(float64(p.W.Data[1])+0.8) > 1e-6 {
+		t.Fatalf("clipped step gave %v, want [-0.6 -0.8]", p.W.Data)
+	}
+}
+
+func TestClippingInactiveBelowThreshold(t *testing.T) {
+	p := &nn.Param{
+		W: tensor.FromSlice([]float32{0}, 1),
+		G: tensor.FromSlice([]float32{0.5}, 1),
+	}
+	s := NewSGD(1, 0, 0)
+	s.ClipNorm = 10
+	s.Step([]*nn.Param{p})
+	if p.W.Data[0] != -0.5 {
+		t.Fatalf("clip modified a small gradient: %v", p.W.Data)
+	}
+}
+
+func TestWarmupSchedule(t *testing.T) {
+	s := StepSchedule{Base: 0.1, Factor: 10, Every: 100, Warmup: 10}
+	if got := s.At(0); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("At(0) = %g, want 0.01", got)
+	}
+	if got := s.At(4); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("At(4) = %g, want 0.05", got)
+	}
+	if got := s.At(9); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("At(9) = %g, want 0.1 (ramp complete)", got)
+	}
+	if got := s.At(50); got != 0.1 {
+		t.Errorf("At(50) = %g", got)
+	}
+	if got := s.At(150); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("At(150) = %g, want post-drop 0.01", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package ring implements the paper's gradient-centric, aggregator-free
+// distributed training exchange (Algorithm 1 and Fig. 6) plus the
+// conventional worker-aggregator baseline it is compared against.
+//
+// Algorithm 1 partitions each worker's gradient vector into N blocks and
+// circulates partial sums around a logical ring in two phases:
+//
+//	P1 (reduce-scatter, steps 1..N-1): each node receives a block from its
+//	   left neighbour, sum-reduces it into the local copy, and forwards the
+//	   next partial block right. After N-1 steps node i holds the fully
+//	   aggregated block (i+1) mod N.
+//	P2 (all-gather, steps N..2N-2): the fully aggregated blocks circulate
+//	   until every node holds the complete aggregated gradient.
+//
+// Both legs carry *gradients*, so both are compressible by the in-NIC
+// codec — the paper's key systems observation (2). The aggregation work is
+// spread evenly across nodes — observation (3).
+package ring
+
+import (
+	"fmt"
+
+	"inceptionn/internal/comm"
+)
+
+// Block boundaries: block b of a length-n vector split N ways.
+func blockBounds(n, parts, b int) (lo, hi int) {
+	per := n / parts
+	rem := n % parts
+	lo = b*per + min(b, rem)
+	size := per
+	if b < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Tag bases for the two phases; step index is added so that a lagging
+// receiver can never confuse messages (streams are ordered anyway).
+const (
+	tagReduceScatter = 1000
+	tagAllGather     = 2000
+)
+
+// AllReduce performs the in-place gradient exchange of Algorithm 1 on node
+// e.ID() of an N-node ring: on return, grad holds the elementwise sum of
+// every node's input vector. All N nodes must call AllReduce concurrently
+// with equal-length vectors. tos selects per-packet NIC treatment
+// (comm.ToSCompress enables in-network lossy compression of every leg).
+//
+// finalize, if non-nil, is applied in place to the node's fully aggregated
+// block between the two phases. With lossy compression this must be the
+// codec roundtrip (Algorithm 1 compresses gradients before the exchange
+// and decompresses after — lines 6 and 20): the block's owner otherwise
+// keeps the exact sum while every other node receives the compressed
+// version, and the model replicas drift apart. The codec is idempotent, so
+// applying it at the owner makes every replica bit-identical.
+func AllReduce(e comm.Peer, grad []float32, tos uint8, finalize func([]float32)) {
+	n := e.N()
+	if n == 1 {
+		if finalize != nil {
+			finalize(grad)
+		}
+		return
+	}
+	id := e.ID()
+	right := (id + 1) % n
+	left := (id - 1 + n) % n
+
+	// P1: aggregation of gradients (reduce-scatter).
+	for s := 1; s <= n-1; s++ {
+		sendBlk := ((id-s+1)%n + n) % n
+		recvBlk := ((id-s)%n + n) % n
+		lo, hi := blockBounds(len(grad), n, sendBlk)
+		e.Send(right, grad[lo:hi], tos, tagReduceScatter+s)
+		rb := e.Recv(left, tagReduceScatter+s)
+		lo, hi = blockBounds(len(grad), n, recvBlk)
+		if len(rb) != hi-lo {
+			panic(fmt.Sprintf("ring: node %d step %d: block size %d, want %d", id, s, len(rb), hi-lo))
+		}
+		local := grad[lo:hi]
+		for i, v := range rb {
+			local[i] += v
+		}
+	}
+
+	if finalize != nil {
+		// The fully aggregated block this node owns after P1.
+		lo, hi := blockBounds(len(grad), n, (id+1)%n)
+		finalize(grad[lo:hi])
+	}
+
+	// P2: propagation of the aggregated gradients (all-gather).
+	for s := 0; s <= n-2; s++ {
+		sendBlk := ((id+1-s)%n + n) % n
+		recvBlk := ((id-s)%n + n) % n
+		lo, hi := blockBounds(len(grad), n, sendBlk)
+		e.Send(right, grad[lo:hi], tos, tagAllGather+s)
+		rb := e.Recv(left, tagAllGather+s)
+		lo, hi = blockBounds(len(grad), n, recvBlk)
+		if len(rb) != hi-lo {
+			panic(fmt.Sprintf("ring: node %d gather step %d: block size %d, want %d", id, s, len(rb), hi-lo))
+		}
+		copy(grad[lo:hi], rb)
+	}
+}
+
+// Aggregator tags for the worker-aggregator exchange.
+const (
+	tagGradUp    = 3000
+	tagWeightsDn = 3001
+)
+
+// WorkerExchange is one worker's side of the conventional worker-aggregator
+// iteration (paper Fig. 2): send the local gradient up to the aggregator,
+// receive the updated weights back. gradTos controls compression of the
+// gradient leg (the only compressible leg in this topology — the returned
+// weights cannot tolerate loss, per the paper's Fig. 4). The received
+// weight vector is returned.
+func WorkerExchange(e comm.Peer, aggregator int, grad []float32, gradTos uint8) []float32 {
+	e.Send(aggregator, grad, gradTos, tagGradUp)
+	return e.Recv(aggregator, tagWeightsDn)
+}
+
+// AggregateStep is the aggregator's side: gather gradients from workers,
+// sum them, let update produce the new weight vector, and broadcast it.
+// workers lists worker node ids. update receives the summed gradient and
+// must return the weight vector to broadcast.
+func AggregateStep(e comm.Peer, workers []int, gradLen int, update func(sum []float32) []float32) {
+	sum := make([]float32, gradLen)
+	for _, w := range workers {
+		g := e.Recv(w, tagGradUp)
+		if len(g) != gradLen {
+			panic(fmt.Sprintf("ring: aggregator got %d floats from %d, want %d", len(g), w, gradLen))
+		}
+		for i, v := range g {
+			sum[i] += v
+		}
+	}
+	weights := update(sum)
+	for _, w := range workers {
+		// Weights are never ToS-tagged: loss is intolerable on this leg.
+		e.Send(w, weights, 0, tagWeightsDn)
+	}
+}

@@ -1,0 +1,333 @@
+// Package tcpfabric is a real-TCP implementation of the cluster transport:
+// nodes connect over loopback TCP sockets and exchange the same framed
+// float32 payloads as the in-process fabric in internal/comm, implementing
+// comm.Peer so the ring exchange (Algorithm 1) runs over genuine sockets.
+//
+// The NIC datapath is applied on the *send* side exactly where the paper's
+// hardware sits — between the host and the wire: payloads tagged with
+// ToS 0x28 are compressed by the engine model and the *compressed bytes*
+// travel over the socket; the receiving side's ingress engine reconstructs
+// the floats. Untagged traffic ships raw IEEE-754 bytes.
+//
+// Wire framing (all little-endian):
+//
+//	u32 magic      0x494E4350 ("INCP")
+//	u8  tos
+//	u8  flags      bit0 = compressed payload
+//	u32 tag
+//	u32 count      float32 values represented
+//	u32 payloadLen bytes following
+//	u32 bitLen     exact compressed bit count (compressed frames only)
+//	... payload
+package tcpfabric
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/nic"
+)
+
+const frameMagic = 0x494E4350
+
+const flagCompressed = 1
+
+// Cluster is a fully connected set of TCP nodes on the loopback interface.
+type Cluster struct {
+	n     int
+	bound fpcodec.Bound
+	useC  bool
+
+	nodes []*Node
+}
+
+// Node is one TCP endpoint; it implements comm.Peer.
+type Node struct {
+	cluster *Cluster
+	id      int
+
+	conns  []net.Conn // conns[peer], nil for self
+	write  []*bufio.Writer
+	wmu    []sync.Mutex
+	inbox  []chan frame // inbox[peer]
+	closed chan struct{}
+
+	// engines are per-node, as in the hardware (one NIC per host); the
+	// mutexes serialize them the way the single AXI stream does.
+	ce   *nic.CompressionEngine
+	ceMu sync.Mutex
+	de   *nic.DecompressionEngine
+	deMu sync.Mutex
+
+	sentBytes     int64
+	receivedBytes int64
+	statsMu       sync.Mutex
+}
+
+type frame struct {
+	tag     int
+	payload []float32
+}
+
+// NewCluster starts n nodes on loopback and fully connects them. If
+// compress is true, frames sent with ToS 0x28 are codec-compressed on the
+// wire using the given error bound.
+func NewCluster(n int, compress bool, bound fpcodec.Bound) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tcpfabric: %d nodes", n)
+	}
+	c := &Cluster{n: n, bound: bound, useC: compress}
+
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("tcpfabric: listen: %w", err)
+		}
+		listeners[i] = l
+	}
+
+	c.nodes = make([]*Node, n)
+	for i := range c.nodes {
+		node := &Node{
+			cluster: c,
+			id:      i,
+			conns:   make([]net.Conn, n),
+			write:   make([]*bufio.Writer, n),
+			wmu:     make([]sync.Mutex, n),
+			inbox:   make([]chan frame, n),
+			closed:  make(chan struct{}),
+			ce:      nic.NewCompressionEngine(bound),
+			de:      nic.NewDecompressionEngine(bound),
+		}
+		for p := range node.inbox {
+			node.inbox[p] = make(chan frame, 256)
+		}
+		c.nodes[i] = node
+	}
+
+	// Connect each ordered pair (i < j): i dials j and announces itself.
+	var acceptErr error
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			for k := 0; k < j; k++ { // j accepts one conn from every i < j
+				conn, err := listeners[j].Accept()
+				if err != nil {
+					acceptErr = err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					acceptErr = err
+					return
+				}
+				i := int(binary.LittleEndian.Uint32(hello[:]))
+				c.nodes[j].attach(i, conn)
+			}
+		}(j)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			conn, err := net.Dial("tcp", listeners[j].Addr().String())
+			if err != nil {
+				return nil, fmt.Errorf("tcpfabric: dial %d->%d: %w", i, j, err)
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(i))
+			if _, err := conn.Write(hello[:]); err != nil {
+				return nil, fmt.Errorf("tcpfabric: hello %d->%d: %w", i, j, err)
+			}
+			c.nodes[i].attach(j, conn)
+		}
+	}
+	wg.Wait()
+	for _, l := range listeners {
+		l.Close()
+	}
+	if acceptErr != nil {
+		return nil, fmt.Errorf("tcpfabric: accept: %w", acceptErr)
+	}
+	return c, nil
+}
+
+// attach wires a connection to a peer and starts its reader.
+func (nd *Node) attach(peer int, conn net.Conn) {
+	nd.conns[peer] = conn
+	nd.write[peer] = bufio.NewWriterSize(conn, 64<<10)
+	go nd.readLoop(peer, conn)
+}
+
+// N returns the cluster size.
+func (c *Cluster) N() int { return c.n }
+
+// Node returns endpoint id.
+func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
+
+// Close shuts down every connection.
+func (c *Cluster) Close() {
+	for _, nd := range c.nodes {
+		select {
+		case <-nd.closed:
+		default:
+			close(nd.closed)
+		}
+		for _, conn := range nd.conns {
+			if conn != nil {
+				conn.Close()
+			}
+		}
+	}
+}
+
+// ID implements comm.Peer.
+func (nd *Node) ID() int { return nd.id }
+
+// N implements comm.Peer.
+func (nd *Node) N() int { return nd.cluster.n }
+
+// Send implements comm.Peer: it frames the payload (compressing it through
+// this node's egress engine when tagged and compression is enabled) and
+// writes it to the peer's socket.
+func (nd *Node) Send(dst int, payload []float32, tos uint8, tag int) {
+	if dst == nd.id {
+		panic("tcpfabric: send to self")
+	}
+	var header [22]byte
+	binary.LittleEndian.PutUint32(header[0:], frameMagic)
+	header[4] = tos
+	binary.LittleEndian.PutUint32(header[6:], uint32(tag))
+	binary.LittleEndian.PutUint32(header[10:], uint32(len(payload)))
+
+	var body []byte
+	if nd.cluster.useC && tos == comm.ToSCompress {
+		nd.ceMu.Lock()
+		data, bits := nd.ce.CompressPayload(payload)
+		body = append([]byte(nil), data...) // engine buffer is reused per call
+		nd.ceMu.Unlock()
+		header[5] = flagCompressed
+		binary.LittleEndian.PutUint32(header[14:], uint32(len(body)))
+		binary.LittleEndian.PutUint32(header[18:], uint32(bits))
+	} else {
+		body = make([]byte, 4*len(payload))
+		for i, v := range payload {
+			binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(v))
+		}
+		binary.LittleEndian.PutUint32(header[14:], uint32(len(body)))
+	}
+
+	nd.wmu[dst].Lock()
+	defer nd.wmu[dst].Unlock()
+	w := nd.write[dst]
+	if _, err := w.Write(header[:]); err != nil {
+		panic(fmt.Sprintf("tcpfabric: write header %d->%d: %v", nd.id, dst, err))
+	}
+	if _, err := w.Write(body); err != nil {
+		panic(fmt.Sprintf("tcpfabric: write body %d->%d: %v", nd.id, dst, err))
+	}
+	if err := w.Flush(); err != nil {
+		panic(fmt.Sprintf("tcpfabric: flush %d->%d: %v", nd.id, dst, err))
+	}
+	nd.statsMu.Lock()
+	nd.sentBytes += int64(len(header) + len(body))
+	nd.statsMu.Unlock()
+}
+
+// Recv implements comm.Peer.
+func (nd *Node) Recv(src int, tag int) []float32 {
+	select {
+	case f := <-nd.inbox[src]:
+		if f.tag != tag {
+			panic(fmt.Sprintf("tcpfabric: node %d expected tag %d from %d, got %d",
+				nd.id, tag, src, f.tag))
+		}
+		return f.payload
+	case <-nd.closed:
+		panic(fmt.Sprintf("tcpfabric: node %d recv from %d after close", nd.id, src))
+	}
+}
+
+// SentBytes returns the total bytes this node wrote to its sockets
+// (headers + payloads, post-compression).
+func (nd *Node) SentBytes() int64 {
+	nd.statsMu.Lock()
+	defer nd.statsMu.Unlock()
+	return nd.sentBytes
+}
+
+// ReceivedBytes returns the total payload-frame bytes read.
+func (nd *Node) ReceivedBytes() int64 {
+	nd.statsMu.Lock()
+	defer nd.statsMu.Unlock()
+	return nd.receivedBytes
+}
+
+// EngineCycles returns the node's NIC engine cycle counters.
+func (nd *Node) EngineCycles() (compress, decompress int64) {
+	return nd.ce.Cycles(), nd.de.Cycles()
+}
+
+// readLoop parses frames from one peer connection and queues them.
+func (nd *Node) readLoop(peer int, conn net.Conn) {
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		var header [22]byte
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			return // connection closed
+		}
+		if binary.LittleEndian.Uint32(header[0:]) != frameMagic {
+			panic(fmt.Sprintf("tcpfabric: node %d bad magic from %d", nd.id, peer))
+		}
+		tos := header[4]
+		flags := header[5]
+		tag := int(binary.LittleEndian.Uint32(header[6:]))
+		count := int(binary.LittleEndian.Uint32(header[10:]))
+		payloadLen := int(binary.LittleEndian.Uint32(header[14:]))
+		bitLen := int(binary.LittleEndian.Uint32(header[18:]))
+		body := make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return
+		}
+		nd.statsMu.Lock()
+		nd.receivedBytes += int64(len(header) + len(body))
+		nd.statsMu.Unlock()
+
+		var payload []float32
+		if flags&flagCompressed != 0 {
+			if tos != comm.ToSCompress {
+				panic(fmt.Sprintf("tcpfabric: node %d compressed frame without ToS from %d", nd.id, peer))
+			}
+			nd.deMu.Lock()
+			out, err := nd.de.DecompressPayload(body, bitLen, count)
+			nd.deMu.Unlock()
+			if err != nil {
+				panic(fmt.Sprintf("tcpfabric: node %d decompress from %d: %v", nd.id, peer, err))
+			}
+			payload = out
+		} else {
+			if payloadLen != 4*count {
+				panic(fmt.Sprintf("tcpfabric: node %d raw frame %dB for %d floats", nd.id, payloadLen, count))
+			}
+			payload = make([]float32, count)
+			for i := range payload {
+				payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+			}
+		}
+		select {
+		case nd.inbox[peer] <- frame{tag: tag, payload: payload}:
+		case <-nd.closed:
+			return
+		}
+	}
+}
+
+var _ comm.Peer = (*Node)(nil)

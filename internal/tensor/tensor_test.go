@@ -1,0 +1,318 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Len() != 24 || x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("shape accessors broken: %v len=%d", x.Shape, x.Len())
+	}
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("New not zero-filled")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 0, 3)
+}
+
+func TestFromSliceAndReshape(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	x := FromSlice(d, 2, 3)
+	if x.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %g", x.At(1, 2))
+	}
+	y := x.Reshape(3, 2)
+	y.Set(0, 1, 42)
+	if x.Data[1] != 42 {
+		t.Fatal("Reshape must share data")
+	}
+	c := x.Clone()
+	c.Data[0] = -1
+	if x.Data[0] == -1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3}, 3)
+	b := FromSlice([]float32{10, 20, 30}, 3)
+	a.AddInPlace(b)
+	if a.Data[2] != 33 {
+		t.Fatalf("AddInPlace: %v", a.Data)
+	}
+	a.Axpy(0.5, b)
+	if a.Data[0] != 16 {
+		t.Fatalf("Axpy: %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[1] != 64 {
+		t.Fatalf("Scale: %v", a.Data)
+	}
+	a.Zero()
+	if a.Data[0] != 0 {
+		t.Fatal("Zero failed")
+	}
+	a.Fill(7)
+	if a.Data[2] != 7 {
+		t.Fatal("Fill failed")
+	}
+}
+
+func TestDotNormMaxAbs(t *testing.T) {
+	a := FromSlice([]float32{3, -4}, 2)
+	if got := a.L2Norm(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2Norm = %g", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %g", got)
+	}
+	b := FromSlice([]float32{1, 2}, 2)
+	if got := a.Dot(b); math.Abs(got-(-5)) > 1e-9 {
+		t.Fatalf("Dot = %g", got)
+	}
+}
+
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s += float64(a.At(i, p)) * float64(b.At(p, j))
+			}
+			out.Set(i, j, float32(s))
+		}
+	}
+	return out
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {7, 5, 9}, {16, 16, 16}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := New(m, k), New(k, n)
+		a.FillRandn(rng, 1)
+		b.FillRandn(rng, 1)
+		want := naiveMatMul(a, b)
+		got := New(m, n)
+		MatMul(got, a, b)
+		for i := range got.Data {
+			if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+				t.Fatalf("dims %v idx %d: got %g want %g", dims, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulTransA(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k, m, n := 6, 4, 5
+	a := New(k, m) // aᵀ is m×k
+	b := New(k, n)
+	a.FillRandn(rng, 1)
+	b.FillRandn(rng, 1)
+	// Build explicit transpose and compare.
+	at := New(m, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < m; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	want := naiveMatMul(at, b)
+	got := New(m, n)
+	MatMulTransA(got, a, b)
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("idx %d: got %g want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulTransB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, k, n := 4, 6, 5
+	a := New(m, k)
+	b := New(n, k) // bᵀ is k×n
+	a.FillRandn(rng, 1)
+	b.FillRandn(rng, 1)
+	bt := New(k, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	want := naiveMatMul(a, bt)
+	got := New(m, n)
+	MatMulTransB(got, a, b)
+	for i := range got.Data {
+		if math.Abs(float64(got.Data[i]-want.Data[i])) > 1e-4 {
+			t.Fatalf("idx %d: got %g want %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	check("inner", func() { MatMul(New(2, 2), New(2, 3), New(4, 2)) })
+	check("dst", func() { MatMul(New(3, 3), New(2, 3), New(3, 2)) })
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+	img := FromSlice([]float32{1, 2, 3, 4}, 1, 2, 2)
+	dst := New(1, 4)
+	Im2Col(dst, img, 1, 1, 1, 0)
+	for i, want := range []float32{1, 2, 3, 4} {
+		if dst.Data[i] != want {
+			t.Fatalf("idx %d: got %g want %g", i, dst.Data[i], want)
+		}
+	}
+}
+
+func TestIm2ColKnownValues(t *testing.T) {
+	// 1 channel 3x3 image, 2x2 kernel, stride 1, no padding → 4 patches.
+	img := FromSlice([]float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	}, 1, 3, 3)
+	dst := New(4, 4)
+	Im2Col(dst, img, 2, 2, 1, 0)
+	// Row r holds kernel position r across the 4 output locations
+	// (top-left, top-right, bottom-left, bottom-right).
+	want := [][]float32{
+		{1, 2, 4, 5}, // k(0,0)
+		{2, 3, 5, 6}, // k(0,1)
+		{4, 5, 7, 8}, // k(1,0)
+		{5, 6, 8, 9}, // k(1,1)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if dst.At(r, c) != want[r][c] {
+				t.Fatalf("(%d,%d): got %g want %g", r, c, dst.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestIm2ColPadding(t *testing.T) {
+	img := FromSlice([]float32{5}, 1, 1, 1)
+	// 3x3 kernel with pad 1 on a 1x1 image: single output, center sees 5.
+	dst := New(9, 1)
+	Im2Col(dst, img, 3, 3, 1, 1)
+	for i := 0; i < 9; i++ {
+		want := float32(0)
+		if i == 4 {
+			want = 5
+		}
+		if dst.Data[i] != want {
+			t.Fatalf("kernel pos %d: got %g want %g", i, dst.Data[i], want)
+		}
+	}
+}
+
+// TestCol2ImAdjoint verifies <Im2Col(x), y> == <x, Col2Im(y)> — the adjoint
+// identity that makes the convolution backward pass correct.
+func TestCol2ImAdjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c, h, w, kh, kw, stride, pad := 2, 5, 6, 3, 2, 2, 1
+	outH := ConvOutSize(h, kh, stride, pad)
+	outW := ConvOutSize(w, kw, stride, pad)
+	x := New(c, h, w)
+	x.FillRandn(rng, 1)
+	y := New(c*kh*kw, outH*outW)
+	y.FillRandn(rng, 1)
+
+	ix := New(c*kh*kw, outH*outW)
+	Im2Col(ix, x, kh, kw, stride, pad)
+	lhs := ix.Dot(y)
+
+	cy := New(c, h, w)
+	Col2Im(cy, y, kh, kw, stride, pad)
+	rhs := x.Dot(cy)
+
+	if math.Abs(lhs-rhs) > 1e-3*(math.Abs(lhs)+1) {
+		t.Fatalf("adjoint identity violated: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestConvOutSize(t *testing.T) {
+	if got := ConvOutSize(32, 3, 1, 1); got != 32 {
+		t.Errorf("same-conv: %d", got)
+	}
+	if got := ConvOutSize(32, 2, 2, 0); got != 16 {
+		t.Errorf("pool: %d", got)
+	}
+	if got := ConvOutSize(227, 11, 4, 0); got != 55 {
+		t.Errorf("alexnet conv1: %d", got)
+	}
+}
+
+// TestQuickMatMulLinearity: MatMul is linear in its first argument.
+func TestQuickMatMulLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := rng.Intn(5)+1, rng.Intn(5)+1, rng.Intn(5)+1
+		a1, a2, b := New(m, k), New(m, k), New(k, n)
+		a1.FillRandn(rng, 1)
+		a2.FillRandn(rng, 1)
+		b.FillRandn(rng, 1)
+		sum := a1.Clone()
+		sum.AddInPlace(a2)
+		r1, r2, rs := New(m, n), New(m, n), New(m, n)
+		MatMul(r1, a1, b)
+		MatMul(r2, a2, b)
+		MatMul(rs, sum, b)
+		for i := range rs.Data {
+			if math.Abs(float64(rs.Data[i]-(r1.Data[i]+r2.Data[i]))) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y, z := New(128, 128), New(128, 128), New(128, 128)
+	x.FillRandn(rng, 1)
+	y.FillRandn(rng, 1)
+	b.SetBytes(128 * 128 * 128 * 4)
+	for i := 0; i < b.N; i++ {
+		MatMul(z, x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	img := New(16, 32, 32)
+	img.FillRandn(rng, 1)
+	dst := New(16*9, 32*32)
+	for i := 0; i < b.N; i++ {
+		Im2Col(dst, img, 3, 3, 1, 1)
+	}
+}

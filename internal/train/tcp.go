@@ -1,0 +1,85 @@
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"inceptionn/internal/data"
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/ring"
+	"inceptionn/internal/tcpfabric"
+)
+
+// RunRingTCP trains with the gradient-centric ring algorithm over genuine
+// loopback TCP sockets (internal/tcpfabric): every gradient byte really
+// crosses a socket, compressed by the NIC engine model when o.Compress is
+// set. Options.Processor is ignored — the TCP fabric embeds its own
+// engines; bound selects their error bound.
+func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Options, bound fpcodec.Bound) (Result, error) {
+	if o.Workers < 1 {
+		return Result{}, fmt.Errorf("train: %d workers", o.Workers)
+	}
+	if o.BatchPerNode < 1 {
+		return Result{}, fmt.Errorf("train: batch per node %d", o.BatchPerNode)
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	cluster, err := tcpfabric.NewCluster(o.Workers, o.Compress, bound)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cluster.Close()
+
+	// The finalize hook (replica identity under lossy compression) uses
+	// the same codec the fabric's engines apply.
+	var finalize func([]float32)
+	if o.Compress {
+		finalize = func(b []float32) {
+			for i, v := range b {
+				b[i] = fpcodec.Roundtrip(v, bound)
+			}
+		}
+	}
+
+	var res Result
+	var wg sync.WaitGroup
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(id, build, trainDS, o)
+			node := cluster.Node(id)
+			for iter := 0; iter < iters; iter++ {
+				w.localGradient()
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				if id == 0 && o.GradHook != nil {
+					o.GradHook(iter, w.grad)
+				}
+				ring.AllReduce(node, w.grad, o.gradTos(), finalize)
+				w.applyAveraged(iter, w.grad, o)
+				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
+					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+				}
+			}
+			if id == 0 {
+				acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+				res.FinalAcc, res.FinalLoss = acc, loss
+				res.FinalWeights = w.net.WeightVector(nil)
+			}
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < o.Workers; id++ {
+		res.WireBytes += cluster.Node(id).SentBytes()
+	}
+	// Raw bytes: each worker ships 2(N-1)/N of the model per iteration.
+	modelBytes := int64(4 * build(rand.New(rand.NewSource(o.Seed))).NumParams())
+	perWorkerPerIter := modelBytes * 2 * int64(o.Workers-1) / int64(o.Workers)
+	res.RawBytes = perWorkerPerIter * int64(iters) * int64(o.Workers)
+	return res, nil
+}

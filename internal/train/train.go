@@ -1,0 +1,515 @@
+// Package train runs real distributed DNN training over the simulated
+// cluster fabric, combining the nn/opt/data substrates with the
+// gradient-centric ring exchange (Algorithm 1) or the worker-aggregator
+// baseline. It produces the accuracy results behind the paper's Figs. 4,
+// 13 and 14 and collects the gradient streams behind Fig. 5 and Table III.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/data"
+	"inceptionn/internal/hierarchy"
+	"inceptionn/internal/nn"
+	"inceptionn/internal/opt"
+	"inceptionn/internal/ring"
+)
+
+// Algorithm selects the distributed exchange.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	// Ring is the paper's gradient-centric aggregator-free exchange.
+	Ring Algorithm = iota
+	// WorkerAggregator is the conventional baseline: a designated
+	// aggregator sums gradients and broadcasts weights.
+	WorkerAggregator
+	// HierarchicalTree groups workers into rings under a global
+	// aggregator (paper Fig. 1b). Requires Options.GroupSize.
+	HierarchicalTree
+	// HierarchicalRing uses rings at every level of the hierarchy (paper
+	// Fig. 1c). Requires Options.GroupSize.
+	HierarchicalRing
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case WorkerAggregator:
+		return "worker-aggregator"
+	case HierarchicalTree:
+		return "hierarchical-tree"
+	default:
+		return "hierarchical-ring"
+	}
+}
+
+// Options configure a distributed training run.
+type Options struct {
+	Workers      int
+	Algo         Algorithm
+	BatchPerNode int
+	Schedule     opt.StepSchedule
+	Momentum     float64
+	WeightDecay  float64
+	Seed         int64
+
+	// Processor is the NIC datapath model (nil = identity, no compression
+	// possible). Compress additionally tags gradient traffic with
+	// ToS 0x28, opting it into the processor's lossy path.
+	Processor comm.WireProcessor
+	Compress  bool
+
+	// LocalGradTransform, if set, is applied to each worker's local
+	// gradient vector before the exchange (e.g. LSB truncation, Fig. 4).
+	LocalGradTransform func([]float32)
+	// WeightTransform, if set, is applied to the weight vector after every
+	// update (e.g. truncation of w, Fig. 4).
+	WeightTransform func([]float32)
+	// GradHook, if set, observes worker 0's local gradient before the
+	// exchange at every iteration (Fig. 5, Table III collection).
+	GradHook func(iter int, grad []float32)
+
+	// EvalEvery > 0 evaluates worker 0's replica on the test set every
+	// that many iterations (and always after the last).
+	EvalEvery   int
+	EvalSamples int
+
+	// GroupSize is the intra-ring group size for the hierarchical
+	// algorithms (Fig. 1b/c); Workers must be a multiple of it.
+	GroupSize int
+
+	// ErrorFeedback enables residual error feedback on the lossy codec
+	// (Seide et al.'s 1-bit SGD technique, cited by the paper as [25]):
+	// each worker adds the previous iteration's compression error to its
+	// local gradient before the exchange, so quantization error is
+	// deferred rather than lost. Requires Compress and a Processor; the
+	// codec's idempotence makes the locally-computed feedback exact for
+	// the first compression stage.
+	ErrorFeedback bool
+}
+
+// EvalPoint is one accuracy measurement.
+type EvalPoint struct {
+	Iter     int
+	Accuracy float64
+	Loss     float64
+}
+
+// Result summarizes a run.
+type Result struct {
+	Evals     []EvalPoint
+	FinalAcc  float64
+	FinalLoss float64
+
+	// Traffic totals across the fabric for the whole run.
+	RawBytes  int64
+	WireBytes int64
+
+	// FinalWeights is worker 0's weight vector (all replicas are identical
+	// under the ring algorithm; verified by tests).
+	FinalWeights []float32
+}
+
+// Builder constructs a model replica from a seed-derived RNG.
+type Builder func(*rand.Rand) *nn.Network
+
+// Run trains for iters iterations and returns the result. The training
+// dataset is sharded across workers (the paper's Dᵢ partitions); the test
+// dataset is used for evaluation.
+func Run(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	if o.Workers < 1 {
+		return Result{}, fmt.Errorf("train: %d workers", o.Workers)
+	}
+	if o.BatchPerNode < 1 {
+		return Result{}, fmt.Errorf("train: batch per node %d", o.BatchPerNode)
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	switch o.Algo {
+	case Ring:
+		return runRing(build, trainDS, testDS, iters, o)
+	case WorkerAggregator:
+		return runWA(build, trainDS, testDS, iters, o)
+	case HierarchicalTree, HierarchicalRing:
+		return runHierarchical(build, trainDS, testDS, iters, o)
+	default:
+		return Result{}, fmt.Errorf("train: unknown algorithm %d", o.Algo)
+	}
+}
+
+// gradTos returns the ToS value for gradient traffic under o.
+func (o Options) gradTos() uint8 {
+	if o.Compress {
+		return comm.ToSCompress
+	}
+	return 0
+}
+
+// finalizer returns the owner-block finalizer for the ring exchange: with
+// compression enabled, the node's own fully aggregated block is passed
+// through the same NIC codec path every other replica observes (Algorithm
+// 1's local compress/decompress, lines 6 and 20), keeping all model
+// replicas bit-identical.
+func (o Options) finalizer() func([]float32) {
+	if !o.Compress || o.Processor == nil {
+		return nil
+	}
+	proc := o.Processor
+	return func(b []float32) {
+		out, _ := proc.Process(b, comm.ToSCompress)
+		copy(b, out)
+	}
+}
+
+// worker is the per-node training state.
+type worker struct {
+	id       int
+	net      *nn.Network
+	sgd      *opt.SGD
+	loader   *data.Loader
+	grad     []float32
+	residual []float32 // error-feedback state (nil unless enabled)
+}
+
+func newWorker(id int, build Builder, trainDS data.Dataset, o Options) *worker {
+	// All replicas are built from the same seed, so they start identical —
+	// the paper's "initialize by the same model weights w0". Data loading
+	// uses a per-worker seed over the worker's own shard.
+	modelRng := rand.New(rand.NewSource(o.Seed))
+	net := build(modelRng)
+	shard := data.NewPartition(trainDS, id, o.Workers)
+	loader := data.NewLoader(shard, o.BatchPerNode, rand.New(rand.NewSource(o.Seed+int64(1000+id))))
+	w := &worker{
+		id:     id,
+		net:    net,
+		sgd:    opt.NewSGD(o.Schedule.Base, o.Momentum, o.WeightDecay),
+		loader: loader,
+		grad:   make([]float32, 0, net.NumParams()),
+	}
+	if o.ErrorFeedback && o.Compress && o.Processor != nil {
+		w.residual = make([]float32, net.NumParams())
+	}
+	return w
+}
+
+// applyErrorFeedback folds the residual into the gradient, replaces the
+// gradient with what the codec will deliver, and stores the new error.
+func (w *worker) applyErrorFeedback(o Options) {
+	if w.residual == nil {
+		return
+	}
+	for i := range w.grad {
+		w.grad[i] += w.residual[i]
+	}
+	delivered, _ := o.Processor.Process(w.grad, comm.ToSCompress)
+	for i := range w.grad {
+		w.residual[i] = w.grad[i] - delivered[i]
+		w.grad[i] = delivered[i]
+	}
+}
+
+// localGradient runs one forward/backward pass and fills w.grad with the
+// flattened local gradient.
+func (w *worker) localGradient() float64 {
+	batch := w.loader.Next()
+	w.net.ZeroGrads()
+	logits := w.net.Forward(batch.X, true)
+	var sce nn.SoftmaxCrossEntropy
+	loss, dlogits := sce.Loss(logits, batch.Labels)
+	w.net.Backward(dlogits)
+	w.grad = w.net.GradVector(w.grad[:0])
+	return loss
+}
+
+// applyAveraged applies the summed gradient (divided by worker count) via
+// the local optimizer and runs the optional weight transform.
+func (w *worker) applyAveraged(iter int, summed []float32, o Options) {
+	inv := float32(1) / float32(o.Workers)
+	for i := range summed {
+		summed[i] *= inv
+	}
+	w.net.SetGradVector(summed)
+	w.sgd.LR = o.Schedule.At(iter)
+	w.sgd.Step(w.net.Params())
+	if o.WeightTransform != nil {
+		wv := w.net.WeightVector(nil)
+		o.WeightTransform(wv)
+		w.net.SetWeightVector(wv)
+	}
+}
+
+// evaluate measures accuracy and loss on up to n samples of ds.
+func evaluate(net *nn.Network, ds data.Dataset, n int) (acc, loss float64) {
+	if n > ds.Len() {
+		n = ds.Len()
+	}
+	const evalBatch = 64
+	var sce nn.SoftmaxCrossEntropy
+	correct, total := 0, 0
+	var lossSum float64
+	for off := 0; off < n; off += evalBatch {
+		hi := off + evalBatch
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, hi-off)
+		for i := range idx {
+			idx[i] = off + i
+		}
+		b := data.MakeBatch(ds, idx)
+		logits := net.Forward(b.X, false)
+		l, _ := sce.Loss(logits, b.Labels)
+		lossSum += l * float64(len(idx))
+		pred := nn.Predict(logits)
+		for i, p := range pred {
+			if p == b.Labels[i] {
+				correct++
+			}
+		}
+		total += len(idx)
+	}
+	return float64(correct) / float64(total), lossSum / float64(total)
+}
+
+// runRing executes the INCEPTIONN training loop (Algorithm 1): every
+// worker exchanges gradients with its ring neighbours; there is no
+// aggregator node.
+func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	fabric := comm.NewFabric(o.Workers, o.Processor)
+	var res Result
+	var wg sync.WaitGroup
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(id, build, trainDS, o)
+			e := fabric.Endpoint(id)
+			for iter := 0; iter < iters; iter++ {
+				w.localGradient()
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				w.applyErrorFeedback(o)
+				if id == 0 && o.GradHook != nil {
+					o.GradHook(iter, w.grad)
+				}
+				ring.AllReduce(e, w.grad, o.gradTos(), o.finalizer())
+				w.applyAveraged(iter, w.grad, o)
+				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
+					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+				}
+			}
+			if id == 0 {
+				acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+				res.FinalAcc, res.FinalLoss = acc, loss
+				res.FinalWeights = w.net.WeightVector(nil)
+			}
+		}(id)
+	}
+	wg.Wait()
+	res.RawBytes = fabric.TotalRawBytes()
+	res.WireBytes = fabric.TotalWireBytes()
+	return res, nil
+}
+
+// runWA executes the conventional worker-aggregator loop (paper Fig. 2):
+// node o.Workers is the designated aggregator; it holds the master weights
+// and optimizer state, sums the workers' gradients, updates, and
+// broadcasts weights. Only the gradient leg is compressible.
+func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	fabric := comm.NewFabric(o.Workers+1, o.Processor)
+	aggID := o.Workers
+	var res Result
+	var wg sync.WaitGroup
+
+	// Aggregator.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		net := build(rand.New(rand.NewSource(o.Seed)))
+		sgd := opt.NewSGD(o.Schedule.Base, o.Momentum, o.WeightDecay)
+		workers := make([]int, o.Workers)
+		for i := range workers {
+			workers[i] = i
+		}
+		gradLen := net.NumParams()
+		e := fabric.Endpoint(aggID)
+		for iter := 0; iter < iters; iter++ {
+			ring.AggregateStep(e, workers, gradLen, func(sum []float32) []float32 {
+				inv := float32(1) / float32(o.Workers)
+				for i := range sum {
+					sum[i] *= inv
+				}
+				net.SetGradVector(sum)
+				sgd.LR = o.Schedule.At(iter)
+				sgd.Step(net.Params())
+				wv := net.WeightVector(nil)
+				if o.WeightTransform != nil {
+					o.WeightTransform(wv)
+					net.SetWeightVector(wv)
+				}
+				return wv
+			})
+		}
+		acc, loss := evaluate(net, testDS, o.EvalSamples)
+		res.FinalAcc, res.FinalLoss = acc, loss
+		res.FinalWeights = net.WeightVector(nil)
+	}()
+
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(id, build, trainDS, o)
+			e := fabric.Endpoint(id)
+			for iter := 0; iter < iters; iter++ {
+				w.localGradient()
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				w.applyErrorFeedback(o)
+				if id == 0 && o.GradHook != nil {
+					o.GradHook(iter, w.grad)
+				}
+				weights := ring.WorkerExchange(e, aggID, w.grad, o.gradTos())
+				w.net.SetWeightVector(weights)
+				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
+					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	res.RawBytes = fabric.TotalRawBytes()
+	res.WireBytes = fabric.TotalWireBytes()
+	return res, nil
+}
+
+// runHierarchical executes the multi-level organizations of the paper's
+// Fig. 1b (ring groups under a global aggregator) and Fig. 1c (rings at
+// every level), via internal/hierarchy.
+func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	mode := hierarchy.ModeRingOfLeaders
+	if o.Algo == HierarchicalTree {
+		mode = hierarchy.ModeAggregatorTree
+	}
+	topo := hierarchy.Topology{Workers: o.Workers, GroupSize: o.GroupSize, Mode: mode}
+	if err := topo.Validate(); err != nil {
+		return Result{}, err
+	}
+	fabric := comm.NewFabric(topo.FabricSize(), o.Processor)
+	var res Result
+	var wg sync.WaitGroup
+
+	if mode == hierarchy.ModeAggregatorTree {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gradLen := build(rand.New(rand.NewSource(o.Seed))).NumParams()
+			e := fabric.Endpoint(topo.AggregatorID())
+			for iter := 0; iter < iters; iter++ {
+				hierarchy.RunAggregator(topo, e, gradLen)
+			}
+		}()
+	}
+
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(id, build, trainDS, o)
+			e := fabric.Endpoint(id)
+			for iter := 0; iter < iters; iter++ {
+				w.localGradient()
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				w.applyErrorFeedback(o)
+				if id == 0 && o.GradHook != nil {
+					o.GradHook(iter, w.grad)
+				}
+				hierarchy.AllReduce(topo, e, w.grad, o.gradTos(), o.finalizer())
+				w.applyAveraged(iter, w.grad, o)
+				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
+					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+				}
+			}
+			if id == 0 {
+				acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+				res.FinalAcc, res.FinalLoss = acc, loss
+				res.FinalWeights = w.net.WeightVector(nil)
+			}
+		}(id)
+	}
+	wg.Wait()
+	res.RawBytes = fabric.TotalRawBytes()
+	res.WireBytes = fabric.TotalWireBytes()
+	return res, nil
+}
+
+// RunSingle trains one replica on the full dataset without any
+// communication — the reference for distributed-equivalence tests.
+func RunSingle(build Builder, trainDS, testDS data.Dataset, iters int, o Options) Result {
+	w := &worker{
+		net:    build(rand.New(rand.NewSource(o.Seed))),
+		sgd:    opt.NewSGD(o.Schedule.Base, o.Momentum, o.WeightDecay),
+		loader: data.NewLoader(trainDS, o.BatchPerNode, rand.New(rand.NewSource(o.Seed+1000))),
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	var res Result
+	for iter := 0; iter < iters; iter++ {
+		w.localGradient()
+		w.grad = w.net.GradVector(w.grad[:0])
+		w.net.SetGradVector(w.grad)
+		w.sgd.LR = o.Schedule.At(iter)
+		w.sgd.Step(w.net.Params())
+	}
+	acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+	res.FinalAcc, res.FinalLoss = acc, loss
+	res.FinalWeights = w.net.WeightVector(nil)
+	return res
+}
+
+// ReplicaWeights runs ring training and returns every worker's final
+// weight vector, for divergence testing.
+func ReplicaWeights(build Builder, trainDS data.Dataset, iters int, o Options) ([][]float32, error) {
+	if o.Algo != Ring {
+		return nil, fmt.Errorf("train: ReplicaWeights requires the ring algorithm")
+	}
+	fabric := comm.NewFabric(o.Workers, o.Processor)
+	out := make([][]float32, o.Workers)
+	var wg sync.WaitGroup
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(id, build, trainDS, o)
+			e := fabric.Endpoint(id)
+			for iter := 0; iter < iters; iter++ {
+				w.localGradient()
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				w.applyErrorFeedback(o)
+				ring.AllReduce(e, w.grad, o.gradTos(), o.finalizer())
+				w.applyAveraged(iter, w.grad, o)
+			}
+			out[id] = w.net.WeightVector(nil)
+		}(id)
+	}
+	wg.Wait()
+	return out, nil
+}
