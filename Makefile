@@ -1,0 +1,26 @@
+# Developer workflow. `make ci` is the gate a change must pass: vet plus
+# the full test suite under the race detector.
+GO ?= go
+
+.PHONY: build test vet race fuzz ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run of the packages with real concurrency (transports,
+# collectives, training loops) plus everything else.
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over the wire-frame decoder; the checked-in seed
+# corpus in internal/tcpfabric/testdata runs on every plain `make test`.
+fuzz:
+	$(GO) test ./internal/tcpfabric -run FuzzFrameDecode -fuzz FuzzFrameDecode -fuzztime 30s
+
+ci: vet race

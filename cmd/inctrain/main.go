@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"inceptionn/internal/data"
+	"inceptionn/internal/fault"
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/models"
 	"inceptionn/internal/nic"
@@ -32,6 +33,10 @@ func main() {
 	lr := flag.Float64("lr", 0.02, "base learning rate")
 	compress := flag.Bool("compress", false, "enable in-NIC lossy gradient compression")
 	tcp := flag.Bool("tcp", false, "run the ring exchange over genuine loopback TCP sockets")
+	chaosDrop := flag.Float64("chaos-drop", 0, "TCP chaos: frame drop rate on every link (0..1)")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "TCP chaos: frame bit-flip rate on every link (0..1)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "TCP chaos: deterministic injection seed")
+	stepTimeout := flag.Duration("step-timeout", 0, "TCP: per-hop ring deadline (0 = none), e.g. 10s")
 	bound := flag.Int("bound", 10, "codec error bound exponent E (bound 2^-E)")
 	seed := flag.Int64("seed", 42, "seed for model init and data")
 	samples := flag.Int("samples", 4000, "synthetic training samples")
@@ -88,6 +93,10 @@ func main() {
 		o.Compress = true
 	}
 
+	if !*tcp && (*chaosDrop > 0 || *chaosCorrupt > 0 || *stepTimeout > 0) {
+		fmt.Fprintln(os.Stderr, "inctrain: -chaos-* and -step-timeout require -tcp")
+		os.Exit(2)
+	}
 	transport := "in-process fabric"
 	if *tcp {
 		transport = "loopback TCP"
@@ -105,6 +114,15 @@ func main() {
 		if berr != nil {
 			fmt.Fprintln(os.Stderr, "inctrain:", berr)
 			os.Exit(2)
+		}
+		o.StepTimeout = *stepTimeout
+		if *chaosDrop > 0 || *chaosCorrupt > 0 {
+			o.Chaos = &fault.Config{
+				Seed:    *chaosSeed,
+				Default: fault.LinkFaults{DropRate: *chaosDrop, CorruptRate: *chaosCorrupt},
+			}
+			fmt.Printf("chaos: drop %.1f%%, corrupt %.1f%% (seed %d)\n",
+				100**chaosDrop, 100**chaosCorrupt, *chaosSeed)
 		}
 		res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
 	} else {

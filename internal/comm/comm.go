@@ -13,8 +13,10 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"inceptionn/internal/bitio"
 	"inceptionn/internal/fpcodec"
@@ -87,12 +89,52 @@ func (p CodecProcessor) Process(payload []float32, tos uint8) ([]float32, int64)
 	return out, int64(len(w.Bytes()))
 }
 
-// LinkStats accumulates traffic counters for one directed link.
+// LinkStats accumulates traffic counters for one directed link. Beyond the
+// byte accounting, it carries the fault-tolerance observability surface:
+// retransmissions, NACKs, degraded (raw-fallback) frames, receive timeouts,
+// and receive-wait time, which together expose stragglers and flaky links.
 type LinkStats struct {
 	Messages     atomic.Int64
 	PayloadBytes atomic.Int64 // post-compression payload bytes
 	WireBytes    atomic.Int64 // payload + packet headers
 	RawBytes     atomic.Int64 // pre-compression payload bytes (4·floats)
+
+	// Recovery counters (populated by fault-tolerant transports).
+	Retransmits atomic.Int64 // frames sent more than once
+	Nacks       atomic.Int64 // NACKs issued by the receiver
+	Degraded    atomic.Int64 // compressed frames refetched as raw
+	Timeouts    atomic.Int64 // receive deadlines that expired
+
+	// Straggler detection: cumulative and peak nanoseconds a receiver
+	// spent blocked waiting on this link.
+	RecvWaitNanos    atomic.Int64
+	MaxRecvWaitNanos atomic.Int64
+}
+
+// ObserveRecvWait records d nanoseconds of receiver blocking on the link,
+// updating both the cumulative total and the peak.
+func (s *LinkStats) ObserveRecvWait(d int64) {
+	s.RecvWaitNanos.Add(d)
+	for {
+		cur := s.MaxRecvWaitNanos.Load()
+		if d <= cur || s.MaxRecvWaitNanos.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Reset zeroes every counter on the link.
+func (s *LinkStats) Reset() {
+	s.Messages.Store(0)
+	s.PayloadBytes.Store(0)
+	s.WireBytes.Store(0)
+	s.RawBytes.Store(0)
+	s.Retransmits.Store(0)
+	s.Nacks.Store(0)
+	s.Degraded.Store(0)
+	s.Timeouts.Store(0)
+	s.RecvWaitNanos.Store(0)
+	s.MaxRecvWaitNanos.Store(0)
 }
 
 // message is one in-flight transfer.
@@ -174,11 +216,7 @@ func (f *Fabric) TotalRawBytes() int64 {
 func (f *Fabric) ResetStats() {
 	for i := range f.stats {
 		for j := range f.stats[i] {
-			s := f.stats[i][j]
-			s.Messages.Store(0)
-			s.PayloadBytes.Store(0)
-			s.WireBytes.Store(0)
-			s.RawBytes.Store(0)
+			f.stats[i][j].Reset()
 		}
 	}
 }
@@ -195,6 +233,53 @@ type Peer interface {
 	Send(dst int, payload []float32, tos uint8, tag int)
 	// Recv blocks for the next payload from src, which must carry tag.
 	Recv(src int, tag int) []float32
+}
+
+// CtxPeer is the fault-tolerant extension of Peer: sends and receives take
+// a context whose deadline or cancellation bounds the operation, and
+// anomalies surface as errors instead of panics. The collective algorithms
+// in internal/ring and internal/mpi run on this interface; the panic-style
+// Peer methods remain as thin wrappers for legacy callers.
+type CtxPeer interface {
+	Peer
+	// SendCtx transmits payload to dst, honouring ctx cancellation. A
+	// fault-tolerant transport may block here for retransmissions.
+	SendCtx(ctx context.Context, dst int, payload []float32, tos uint8, tag int) error
+	// RecvCtx blocks for the next payload from src until ctx is done. A
+	// tag mismatch is a protocol error, returned rather than panicked.
+	RecvCtx(ctx context.Context, src int, tag int) ([]float32, error)
+}
+
+// ctxAdapter lifts a plain Peer to CtxPeer with blocking semantics: the
+// context is checked before each operation but cannot interrupt one in
+// flight (the underlying transport has no cancellation hook).
+type ctxAdapter struct {
+	Peer
+}
+
+func (a ctxAdapter) SendCtx(ctx context.Context, dst int, payload []float32, tos uint8, tag int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	a.Send(dst, payload, tos, tag)
+	return nil
+}
+
+func (a ctxAdapter) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a.Recv(src, tag), nil
+}
+
+// AsCtxPeer returns p itself when it already implements CtxPeer, and
+// otherwise wraps it in a best-effort adapter that checks the context
+// between operations but cannot interrupt a blocked one.
+func AsCtxPeer(p Peer) CtxPeer {
+	if cp, ok := p.(CtxPeer); ok {
+		return cp
+	}
+	return ctxAdapter{p}
 }
 
 // Endpoint is one node's interface to the fabric.
@@ -237,4 +322,56 @@ func (e *Endpoint) Recv(src int, tag int) []float32 {
 		panic(fmt.Sprintf("comm: node %d expected tag %d from %d, got %d", e.id, tag, src, m.tag))
 	}
 	return m.payload
+}
+
+var _ CtxPeer = (*Endpoint)(nil)
+
+// SendCtx implements CtxPeer: like Send, but gives up with ctx.Err() if
+// the (deeply buffered) stream would block past the context deadline.
+func (e *Endpoint) SendCtx(ctx context.Context, dst int, payload []float32, tos uint8, tag int) error {
+	recv, payloadBytes := e.f.proc.Process(payload, tos)
+	if len(payload) > 0 && len(recv) > 0 && &recv[0] == &payload[0] {
+		recv = append([]float32(nil), payload...)
+	}
+	s := e.f.stats[e.id][dst]
+	select {
+	case e.f.chans[e.id][dst] <- message{payload: recv, tag: tag}:
+	case <-ctx.Done():
+		s.Timeouts.Add(1)
+		return fmt.Errorf("comm: send %d->%d tag %d: %w", e.id, dst, tag, ctx.Err())
+	}
+	s.Messages.Add(1)
+	s.RawBytes.Add(4 * int64(len(payload)))
+	s.PayloadBytes.Add(payloadBytes)
+	s.WireBytes.Add(WireBytes(payloadBytes))
+	return nil
+}
+
+// RecvCtx implements CtxPeer: like Recv, but bounded by ctx and recording
+// the blocked time into the link's straggler stats.
+func (e *Endpoint) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error) {
+	payload, got, err := e.RecvMessageCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("comm: node %d expected tag %d from %d, got %d", e.id, tag, src, got)
+	}
+	return payload, nil
+}
+
+// RecvMessageCtx receives the next message from src regardless of its tag,
+// returning the payload and the tag it carried. It is the demultiplexing
+// primitive the fault-injection wrapper's link pumps are built on.
+func (e *Endpoint) RecvMessageCtx(ctx context.Context, src int) ([]float32, int, error) {
+	s := e.f.stats[src][e.id]
+	start := time.Now()
+	select {
+	case m := <-e.f.chans[src][e.id]:
+		s.ObserveRecvWait(time.Since(start).Nanoseconds())
+		return m.payload, m.tag, nil
+	case <-ctx.Done():
+		s.Timeouts.Add(1)
+		return nil, 0, fmt.Errorf("comm: recv %d<-%d: %w", e.id, src, ctx.Err())
+	}
 }

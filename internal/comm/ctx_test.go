@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSendRecvCtxBasic(t *testing.T) {
+	f := NewFabric(2, nil)
+	ctx := context.Background()
+	go func() {
+		if err := f.Endpoint(0).SendCtx(ctx, 1, []float32{1, 2, 3}, 0, 7); err != nil {
+			t.Error(err)
+		}
+	}()
+	got, err := f.Endpoint(1).RecvCtx(ctx, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecvCtxDeadline(t *testing.T) {
+	f := NewFabric(2, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := f.Endpoint(1).RecvCtx(ctx, 0, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if f.Stats(0, 1).Timeouts.Load() == 0 {
+		t.Error("timeout not counted in link stats")
+	}
+}
+
+func TestSendCtxDeadlineOnFullChannel(t *testing.T) {
+	f := NewFabric(2, nil)
+	e := f.Endpoint(0)
+	// Saturate the link's buffer, then the next send must time out.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	var err error
+	for i := 0; i < 10000; i++ {
+		if err = e.SendCtx(ctx, 1, []float32{1}, 0, 0); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded on saturated link, got %v", err)
+	}
+}
+
+func TestRecvCtxTagMismatchIsError(t *testing.T) {
+	f := NewFabric(2, nil)
+	ctx := context.Background()
+	go func() { _ = f.Endpoint(0).SendCtx(ctx, 1, []float32{1}, 0, 3) }()
+	if _, err := f.Endpoint(1).RecvCtx(ctx, 0, 4); err == nil {
+		t.Fatal("tag mismatch returned nil error")
+	}
+}
+
+func TestRecvMessageCtxRecordsWait(t *testing.T) {
+	f := NewFabric(2, nil)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		f.Endpoint(0).Send(1, []float32{9}, 0, 1)
+	}()
+	payload, tag, err := f.Endpoint(1).RecvMessageCtx(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != 1 || payload[0] != 9 {
+		t.Fatalf("got tag %d payload %v", tag, payload)
+	}
+	if f.Stats(0, 1).MaxRecvWaitNanos.Load() < (10 * time.Millisecond).Nanoseconds() {
+		t.Error("recv wait below the injected 30ms delay")
+	}
+}
+
+func TestAsCtxPeerIdentity(t *testing.T) {
+	f := NewFabric(2, nil)
+	e := f.Endpoint(0)
+	if AsCtxPeer(e) != CtxPeer(e) {
+		t.Fatal("endpoint re-wrapped instead of used directly")
+	}
+}
+
+// minimalPeer implements only the blocking Peer interface, forcing
+// AsCtxPeer to adapt it.
+type minimalPeer struct{ payload []float32 }
+
+func (m *minimalPeer) ID() int { return 0 }
+func (m *minimalPeer) N() int  { return 2 }
+func (m *minimalPeer) Send(dst int, payload []float32, tos uint8, tag int) {
+	m.payload = append([]float32(nil), payload...)
+}
+func (m *minimalPeer) Recv(src int, tag int) []float32 { return m.payload }
+
+func TestAsCtxPeerAdaptsBlockingPeer(t *testing.T) {
+	p := &minimalPeer{}
+	cp := AsCtxPeer(p)
+	if err := cp.SendCtx(context.Background(), 1, []float32{5}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.RecvCtx(context.Background(), 1, 0)
+	if err != nil || got[0] != 5 {
+		t.Fatalf("adapter roundtrip: %v %v", got, err)
+	}
+	// A pre-cancelled context must be honoured between (not during) ops.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := cp.SendCtx(ctx, 1, []float32{5}, 0, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+}
+
+func TestObserveRecvWaitMax(t *testing.T) {
+	var s LinkStats
+	s.ObserveRecvWait(10)
+	s.ObserveRecvWait(50)
+	s.ObserveRecvWait(20)
+	if s.RecvWaitNanos.Load() != 80 {
+		t.Errorf("total %d, want 80", s.RecvWaitNanos.Load())
+	}
+	if s.MaxRecvWaitNanos.Load() != 50 {
+		t.Errorf("max %d, want 50", s.MaxRecvWaitNanos.Load())
+	}
+	s.Reset()
+	if s.RecvWaitNanos.Load() != 0 || s.MaxRecvWaitNanos.Load() != 0 {
+		t.Error("Reset left wait stats nonzero")
+	}
+}

@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"fmt"
 
 	"inceptionn/internal/comm"
@@ -9,7 +10,8 @@ import (
 // Additional collectives rounding out the OpenMPI-like API surface of the
 // paper's Sec. VI-B. AllGather and ReduceScatter are the two halves of the
 // ring AllReduce (Fig. 6's P2 and P1 phases respectively), exposed
-// separately; Scatter is Bcast's counterpart.
+// separately; Scatter is Bcast's counterpart. Each has a fault-tolerant
+// Ctx form; the bare method panics on failure, as the legacy API did.
 
 // Tag bases for the additional collectives.
 const (
@@ -22,22 +24,36 @@ const (
 // into one vector ordered by rank, using the ring pipeline (each link
 // carries (p−1)·len bytes, balanced like the paper's exchange).
 func (c *Comm) AllGather(vec []float32) []float32 {
+	out, err := c.AllGatherCtx(context.Background(), vec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// AllGatherCtx is the fault-tolerant AllGather.
+func (c *Comm) AllGatherCtx(ctx context.Context, vec []float32) ([]float32, error) {
 	n, rank := c.Size(), c.Rank()
 	out := make([]float32, n*len(vec))
 	copy(out[rank*len(vec):], vec)
 	if n == 1 {
-		return out
+		return out, nil
 	}
 	right := (rank + 1) % n
 	left := (rank - 1 + n) % n
 	for s := 0; s < n-1; s++ {
 		sendBlk := ((rank-s)%n + n) % n
 		recvBlk := ((rank-s-1)%n + n) % n
-		c.e.Send(right, out[sendBlk*len(vec):(sendBlk+1)*len(vec)], c.tos, tagAllGather+s)
-		rb := c.e.Recv(left, tagAllGather+s)
+		if err := c.sendStep(ctx, right, out[sendBlk*len(vec):(sendBlk+1)*len(vec)], c.tos, tagAllGather+s); err != nil {
+			return nil, err
+		}
+		rb, err := c.recvStep(ctx, left, tagAllGather+s)
+		if err != nil {
+			return nil, err
+		}
 		copy(out[recvBlk*len(vec):], rb)
 	}
-	return out
+	return out, nil
 }
 
 // ReduceScatter sums vec elementwise across ranks and returns this rank's
@@ -45,9 +61,18 @@ func (c *Comm) AllGather(vec []float32) []float32 {
 // ring AllReduce uses; rank i receives block i). All vectors must have
 // equal length.
 func (c *Comm) ReduceScatter(vec []float32) []float32 {
+	out, err := c.ReduceScatterCtx(context.Background(), vec)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// ReduceScatterCtx is the fault-tolerant ReduceScatter.
+func (c *Comm) ReduceScatterCtx(ctx context.Context, vec []float32) ([]float32, error) {
 	n, rank := c.Size(), c.Rank()
 	if n == 1 {
-		return append([]float32(nil), vec...)
+		return append([]float32(nil), vec...), nil
 	}
 	work := append([]float32(nil), vec...)
 	right := (rank + 1) % n
@@ -56,8 +81,13 @@ func (c *Comm) ReduceScatter(vec []float32) []float32 {
 		sendBlk := ((rank-s+1)%n + n) % n
 		recvBlk := ((rank-s)%n + n) % n
 		lo, hi := scatterBounds(len(work), n, sendBlk)
-		c.e.Send(right, work[lo:hi], c.tos, tagReduceScatter+s)
-		rb := c.e.Recv(left, tagReduceScatter+s)
+		if err := c.sendStep(ctx, right, work[lo:hi], c.tos, tagReduceScatter+s); err != nil {
+			return nil, err
+		}
+		rb, err := c.recvStep(ctx, left, tagReduceScatter+s)
+		if err != nil {
+			return nil, err
+		}
 		lo, hi = scatterBounds(len(work), n, recvBlk)
 		local := work[lo:hi]
 		for i, v := range rb {
@@ -69,9 +99,14 @@ func (c *Comm) ReduceScatter(vec []float32) []float32 {
 	// final shift gives every rank its own block.
 	ownBlk := (rank + 1) % n
 	lo, hi := scatterBounds(len(work), n, ownBlk)
-	c.e.Send(right, work[lo:hi], c.tos, tagReduceScatter)
-	rb := c.e.Recv(left, tagReduceScatter)
-	return append([]float32(nil), rb...)
+	if err := c.sendStep(ctx, right, work[lo:hi], c.tos, tagReduceScatter); err != nil {
+		return nil, err
+	}
+	rb, err := c.recvStep(ctx, left, tagReduceScatter)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float32(nil), rb...), nil
 }
 
 // scatterBounds mirrors the ring package's block partition.
@@ -97,20 +132,31 @@ func minInt(a, b int) int {
 // by rank (each chunk may differ in length); every rank returns its own
 // chunk. Non-root ranks pass nil.
 func (c *Comm) Scatter(chunks [][]float32, root int) []float32 {
+	out, err := c.ScatterCtx(context.Background(), chunks, root)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// ScatterCtx is the fault-tolerant Scatter.
+func (c *Comm) ScatterCtx(ctx context.Context, chunks [][]float32, root int) ([]float32, error) {
 	n, rank := c.Size(), c.Rank()
 	if rank == root {
 		if len(chunks) != n {
-			panic(fmt.Sprintf("mpi: Scatter got %d chunks for %d ranks", len(chunks), n))
+			return nil, fmt.Errorf("mpi: Scatter got %d chunks for %d ranks", len(chunks), n)
 		}
 		for r := 0; r < n; r++ {
 			if r == root {
 				continue
 			}
-			c.e.Send(r, chunks[r], 0, tagScatter)
+			if err := c.sendStep(ctx, r, chunks[r], 0, tagScatter); err != nil {
+				return nil, err
+			}
 		}
-		return append([]float32(nil), chunks[root]...)
+		return append([]float32(nil), chunks[root]...), nil
 	}
-	return c.e.Recv(root, tagScatter)
+	return c.recvStep(ctx, root, tagScatter)
 }
 
 // Endpoint exposes the underlying transport peer, letting callers mix

@@ -5,10 +5,19 @@
 // flag down to the transport and tags every packet of subsequent
 // collectives with ToS 0x28, opting them into in-NIC lossy compression
 // (the setsockopt path in Fig. 11).
+//
+// Every collective has two forms: the legacy panic-on-failure method
+// (AllReduce, Bcast, …) and a fault-tolerant Ctx variant (AllReduceCtx,
+// BcastCtx, …) that honours context deadlines, applies the communicator's
+// per-step timeout, and returns transport errors — the surface a
+// production training loop drives so a partition or straggler becomes a
+// recoverable error rather than a crashed process.
 package mpi
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"inceptionn/internal/comm"
 	"inceptionn/internal/ring"
@@ -16,14 +25,23 @@ import (
 
 // Comm is a communicator: one rank's handle on the collective group.
 type Comm struct {
-	e        *comm.Endpoint
-	tos      uint8
-	finalize func([]float32)
+	e           comm.CtxPeer
+	tos         uint8
+	finalize    func([]float32)
+	stepTimeout time.Duration
 }
 
 // World returns rank id's communicator over fabric f.
 func World(f *comm.Fabric, id int) *Comm {
 	return &Comm{e: f.Endpoint(id)}
+}
+
+// WorldPeer returns a communicator over any transport peer — an
+// in-process endpoint, a TCP fabric node, or a chaos-wrapped peer from
+// internal/fault. Peers that do not implement comm.CtxPeer are adapted
+// with blocking semantics.
+func WorldPeer(p comm.Peer) *Comm {
+	return &Comm{e: comm.AsCtxPeer(p)}
 }
 
 // Rank returns this process's rank.
@@ -51,6 +69,40 @@ func (c *Comm) Compressing() bool { return c.tos == comm.ToSCompress }
 // for bit-identical replicas when compression is enabled.
 func (c *Comm) SetFinalize(f func([]float32)) { c.finalize = f }
 
+// SetStepTimeout bounds every individual send/recv step of the Ctx
+// collectives: a link that stalls longer returns a timeout error naming
+// the peer, which is how stragglers and partitions surface. 0 disables.
+func (c *Comm) SetStepTimeout(d time.Duration) { c.stepTimeout = d }
+
+// stepCtx derives the per-step context.
+func (c *Comm) stepCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.stepTimeout > 0 {
+		return context.WithTimeout(ctx, c.stepTimeout)
+	}
+	return ctx, func() {}
+}
+
+// sendStep is one deadline-bounded send.
+func (c *Comm) sendStep(ctx context.Context, dst int, vec []float32, tos uint8, tag int) error {
+	sctx, cancel := c.stepCtx(ctx)
+	defer cancel()
+	if err := c.e.SendCtx(sctx, dst, vec, tos, tag); err != nil {
+		return fmt.Errorf("mpi: rank %d send to %d: %w", c.Rank(), dst, err)
+	}
+	return nil
+}
+
+// recvStep is one deadline-bounded receive.
+func (c *Comm) recvStep(ctx context.Context, src int, tag int) ([]float32, error) {
+	sctx, cancel := c.stepCtx(ctx)
+	defer cancel()
+	rb, err := c.e.RecvCtx(sctx, src, tag)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: rank %d recv from %d: %w", c.Rank(), src, err)
+	}
+	return rb, nil
+}
+
 // Tag bases; collectives use disjoint spaces from internal/ring.
 const (
 	tagBcast   = 4000
@@ -63,7 +115,16 @@ const (
 // gradient-centric ring exchange (Algorithm 1). All ranks must call it
 // concurrently with equal-length vectors.
 func (c *Comm) AllReduce(vec []float32) {
-	ring.AllReduce(c.e, vec, c.tos, c.finalize)
+	if err := c.AllReduceCtx(context.Background(), vec); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AllReduceCtx is the fault-tolerant AllReduce: deadline expiries and
+// transport errors are returned, and the communicator's step timeout
+// bounds each ring hop.
+func (c *Comm) AllReduceCtx(ctx context.Context, vec []float32) error {
+	return ring.AllReduceCtx(ctx, c.e, vec, c.tos, c.finalize, ring.Options{StepTimeout: c.stepTimeout})
 }
 
 // Bcast distributes root's vec to all ranks, in place, over a binomial
@@ -71,9 +132,16 @@ func (c *Comm) AllReduce(vec []float32) {
 // paper's cost model). Broadcast payloads are weights in this codebase, so
 // they are never ToS-tagged regardless of CollectiveCommComp.
 func (c *Comm) Bcast(vec []float32, root int) {
+	if err := c.BcastCtx(context.Background(), vec, root); err != nil {
+		panic(err.Error())
+	}
+}
+
+// BcastCtx is the fault-tolerant Bcast.
+func (c *Comm) BcastCtx(ctx context.Context, vec []float32, root int) error {
 	n, rank := c.Size(), c.Rank()
 	if n == 1 {
-		return
+		return nil
 	}
 	// Rotate ranks so the root is virtual rank 0, then walk the binomial
 	// tree from the widest stride down: at stride d, every rank that
@@ -91,26 +159,46 @@ func (c *Comm) Bcast(vec []float32, root int) {
 		case vrank%(2*dist) == 0:
 			if received && vrank+dist < n {
 				peer := (vrank + dist + root) % n
-				c.e.Send(peer, vec, 0, tagBcast+dist)
+				if err := c.sendStep(ctx, peer, vec, 0, tagBcast+dist); err != nil {
+					return err
+				}
 			}
 		case vrank%(2*dist) == dist:
 			peer := (vrank - dist + root) % n
-			copy(vec, c.e.Recv(peer, tagBcast+dist))
+			rb, err := c.recvStep(ctx, peer, tagBcast+dist)
+			if err != nil {
+				return err
+			}
+			copy(vec, rb)
 			received = true
 		}
 	}
 	if !received {
-		panic(fmt.Sprintf("mpi: rank %d never received broadcast", rank))
+		return fmt.Errorf("mpi: rank %d never received broadcast", rank)
 	}
+	return nil
 }
 
 // Reduce sums vec elementwise across ranks into root's vec (other ranks'
 // vectors are left untouched), over a binomial tree. Reduce payloads are
 // gradients, so the ToS flag applies.
 func (c *Comm) Reduce(vec []float32, root int) {
+	if err := c.ReduceCtx(context.Background(), vec, root); err != nil {
+		panic(err.Error())
+	}
+}
+
+// ReduceCtx is the fault-tolerant Reduce.
+func (c *Comm) ReduceCtx(ctx context.Context, vec []float32, root int) error {
+	return c.reduceTree(ctx, vec, root, c.tos, tagReduce)
+}
+
+// reduceTree is the binomial-tree reduction shared by ReduceCtx and the
+// barrier (which forces compression off for its token).
+func (c *Comm) reduceTree(ctx context.Context, vec []float32, root int, tos uint8, tagBase int) error {
 	n, rank := c.Size(), c.Rank()
 	if n == 1 {
-		return
+		return nil
 	}
 	vrank := (rank - root + n) % n
 	acc := vec
@@ -121,26 +209,43 @@ func (c *Comm) Reduce(vec []float32, root int) {
 		if vrank%(2*dist) == 0 {
 			if vrank+dist < n {
 				peer := (vrank + dist + root) % n
-				rb := c.e.Recv(peer, tagReduce+dist)
+				rb, err := c.recvStep(ctx, peer, tagBase+dist)
+				if err != nil {
+					return err
+				}
 				for i, v := range rb {
 					acc[i] += v
 				}
 			}
 		} else if vrank%(2*dist) == dist {
 			peer := (vrank - dist + root) % n
-			c.e.Send(peer, acc, c.tos, tagReduce+dist)
+			if err := c.sendStep(ctx, peer, acc, tos, tagBase+dist); err != nil {
+				return err
+			}
 			break
 		}
 	}
+	return nil
 }
 
 // Gather collects every rank's vec at root, returned indexed by rank; other
 // ranks receive nil. Vectors may differ in length.
 func (c *Comm) Gather(vec []float32, root int) [][]float32 {
+	out, err := c.GatherCtx(context.Background(), vec, root)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// GatherCtx is the fault-tolerant Gather.
+func (c *Comm) GatherCtx(ctx context.Context, vec []float32, root int) ([][]float32, error) {
 	n, rank := c.Size(), c.Rank()
 	if rank != root {
-		c.e.Send(root, vec, c.tos, tagGather)
-		return nil
+		if err := c.sendStep(ctx, root, vec, c.tos, tagGather); err != nil {
+			return nil, err
+		}
+		return nil, nil
 	}
 	out := make([][]float32, n)
 	out[rank] = append([]float32(nil), vec...)
@@ -148,49 +253,31 @@ func (c *Comm) Gather(vec []float32, root int) [][]float32 {
 		if r == root {
 			continue
 		}
-		out[r] = c.e.Recv(r, tagGather)
+		rb, err := c.recvStep(ctx, r, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = rb
 	}
-	return out
+	return out, nil
 }
 
 // Barrier blocks until all ranks have entered it.
 func (c *Comm) Barrier() {
-	// Reduce a token to rank 0, then broadcast it back.
-	token := []float32{1}
-	c.reduceNoToS(token, 0)
-	c.Bcast(token, 0)
+	if err := c.BarrierCtx(context.Background()); err != nil {
+		panic(err.Error())
+	}
 }
 
-// reduceNoToS is Reduce with compression forced off (barrier tokens should
-// not depend on the codec).
-func (c *Comm) reduceNoToS(vec []float32, root int) {
-	saved := c.tos
-	c.tos = 0
-	defer func() { c.tos = saved }()
-	// Reuse the Reduce topology with a distinct tag space by shifting the
-	// payload through tagBarrier-based tags.
-	n, rank := c.Size(), c.Rank()
-	if n == 1 {
-		return
+// BarrierCtx is the fault-tolerant Barrier: it reduces a token to rank 0
+// and broadcasts it back, with every hop deadline-bounded, so a crashed
+// or partitioned rank turns the barrier into an error instead of a
+// distributed hang.
+func (c *Comm) BarrierCtx(ctx context.Context) error {
+	token := []float32{1}
+	// Barrier tokens never ride the lossy codec.
+	if err := c.reduceTree(ctx, token, 0, 0, tagBarrier); err != nil {
+		return err
 	}
-	vrank := (rank - root + n) % n
-	acc := vec
-	if vrank != 0 {
-		acc = append([]float32(nil), vec...)
-	}
-	for dist := 1; dist < n; dist *= 2 {
-		if vrank%(2*dist) == 0 {
-			if vrank+dist < n {
-				peer := (vrank + dist + root) % n
-				rb := c.e.Recv(peer, tagBarrier+dist)
-				for i, v := range rb {
-					acc[i] += v
-				}
-			}
-		} else if vrank%(2*dist) == dist {
-			peer := (vrank - dist + root) % n
-			c.e.Send(peer, acc, 0, tagBarrier+dist)
-			break
-		}
-	}
+	return c.BcastCtx(ctx, token, 0)
 }

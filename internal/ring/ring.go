@@ -18,7 +18,9 @@
 package ring
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"inceptionn/internal/comm"
 )
@@ -49,6 +51,15 @@ const (
 	tagAllGather     = 2000
 )
 
+// Options tune the fault-tolerant exchange.
+type Options struct {
+	// StepTimeout bounds each send+recv ring step; 0 disables the
+	// per-step deadline (the caller's context still applies). A step that
+	// exceeds it returns a timeout error identifying the stalled link,
+	// turning a permanent partition into an error instead of a hang.
+	StepTimeout time.Duration
+}
+
 // AllReduce performs the in-place gradient exchange of Algorithm 1 on node
 // e.ID() of an N-node ring: on return, grad holds the elementwise sum of
 // every node's input vector. All N nodes must call AllReduce concurrently
@@ -62,32 +73,66 @@ const (
 // keeps the exact sum while every other node receives the compressed
 // version, and the model replicas drift apart. The codec is idempotent, so
 // applying it at the owner makes every replica bit-identical.
+//
+// AllReduce is the legacy panic-on-failure wrapper around AllReduceCtx.
 func AllReduce(e comm.Peer, grad []float32, tos uint8, finalize func([]float32)) {
+	if err := AllReduceCtx(context.Background(), comm.AsCtxPeer(e), grad, tos, finalize, Options{}); err != nil {
+		panic(fmt.Sprintf("ring: %v", err))
+	}
+}
+
+// AllReduceCtx is the fault-tolerant form of AllReduce: transport
+// anomalies, per-step deadline expiries (stragglers, partitions), and
+// context cancellation return errors instead of panicking, so a training
+// driver can retry, evict the failed node, or abort cleanly.
+func AllReduceCtx(ctx context.Context, e comm.CtxPeer, grad []float32, tos uint8, finalize func([]float32), opt Options) error {
 	n := e.N()
 	if n == 1 {
 		if finalize != nil {
 			finalize(grad)
 		}
-		return
+		return nil
 	}
 	id := e.ID()
 	right := (id + 1) % n
 	left := (id - 1 + n) % n
 
+	step := func(ctx context.Context, sendBlk, recvBlk, tag int, reduce bool) error {
+		stepCtx := ctx
+		if opt.StepTimeout > 0 {
+			var cancel context.CancelFunc
+			stepCtx, cancel = context.WithTimeout(ctx, opt.StepTimeout)
+			defer cancel()
+		}
+		lo, hi := blockBounds(len(grad), n, sendBlk)
+		if err := e.SendCtx(stepCtx, right, grad[lo:hi], tos, tag); err != nil {
+			return fmt.Errorf("ring: node %d send block %d to %d: %w", id, sendBlk, right, err)
+		}
+		rb, err := e.RecvCtx(stepCtx, left, tag)
+		if err != nil {
+			return fmt.Errorf("ring: node %d recv block %d from %d: %w", id, recvBlk, left, err)
+		}
+		lo, hi = blockBounds(len(grad), n, recvBlk)
+		if len(rb) != hi-lo {
+			return fmt.Errorf("ring: node %d tag %d: block size %d, want %d", id, tag, len(rb), hi-lo)
+		}
+		local := grad[lo:hi]
+		if reduce {
+			for i, v := range rb {
+				local[i] += v
+			}
+		} else {
+			copy(local, rb)
+		}
+		return nil
+	}
+
 	// P1: aggregation of gradients (reduce-scatter).
 	for s := 1; s <= n-1; s++ {
 		sendBlk := ((id-s+1)%n + n) % n
 		recvBlk := ((id-s)%n + n) % n
-		lo, hi := blockBounds(len(grad), n, sendBlk)
-		e.Send(right, grad[lo:hi], tos, tagReduceScatter+s)
-		rb := e.Recv(left, tagReduceScatter+s)
-		lo, hi = blockBounds(len(grad), n, recvBlk)
-		if len(rb) != hi-lo {
-			panic(fmt.Sprintf("ring: node %d step %d: block size %d, want %d", id, s, len(rb), hi-lo))
-		}
-		local := grad[lo:hi]
-		for i, v := range rb {
-			local[i] += v
+		if err := step(ctx, sendBlk, recvBlk, tagReduceScatter+s, true); err != nil {
+			return err
 		}
 	}
 
@@ -101,15 +146,11 @@ func AllReduce(e comm.Peer, grad []float32, tos uint8, finalize func([]float32))
 	for s := 0; s <= n-2; s++ {
 		sendBlk := ((id+1-s)%n + n) % n
 		recvBlk := ((id-s)%n + n) % n
-		lo, hi := blockBounds(len(grad), n, sendBlk)
-		e.Send(right, grad[lo:hi], tos, tagAllGather+s)
-		rb := e.Recv(left, tagAllGather+s)
-		lo, hi = blockBounds(len(grad), n, recvBlk)
-		if len(rb) != hi-lo {
-			panic(fmt.Sprintf("ring: node %d gather step %d: block size %d, want %d", id, s, len(rb), hi-lo))
+		if err := step(ctx, sendBlk, recvBlk, tagAllGather+s, false); err != nil {
+			return err
 		}
-		copy(grad[lo:hi], rb)
 	}
+	return nil
 }
 
 // Aggregator tags for the worker-aggregator exchange.
@@ -129,16 +170,38 @@ func WorkerExchange(e comm.Peer, aggregator int, grad []float32, gradTos uint8) 
 	return e.Recv(aggregator, tagWeightsDn)
 }
 
+// WorkerExchangeCtx is the error-returning form of WorkerExchange.
+func WorkerExchangeCtx(ctx context.Context, e comm.CtxPeer, aggregator int, grad []float32, gradTos uint8) ([]float32, error) {
+	if err := e.SendCtx(ctx, aggregator, grad, gradTos, tagGradUp); err != nil {
+		return nil, fmt.Errorf("ring: worker %d gradient up: %w", e.ID(), err)
+	}
+	w, err := e.RecvCtx(ctx, aggregator, tagWeightsDn)
+	if err != nil {
+		return nil, fmt.Errorf("ring: worker %d weights down: %w", e.ID(), err)
+	}
+	return w, nil
+}
+
 // AggregateStep is the aggregator's side: gather gradients from workers,
 // sum them, let update produce the new weight vector, and broadcast it.
 // workers lists worker node ids. update receives the summed gradient and
 // must return the weight vector to broadcast.
 func AggregateStep(e comm.Peer, workers []int, gradLen int, update func(sum []float32) []float32) {
+	if err := AggregateStepCtx(context.Background(), comm.AsCtxPeer(e), workers, gradLen, update); err != nil {
+		panic(fmt.Sprintf("ring: %v", err))
+	}
+}
+
+// AggregateStepCtx is the error-returning form of AggregateStep.
+func AggregateStepCtx(ctx context.Context, e comm.CtxPeer, workers []int, gradLen int, update func(sum []float32) []float32) error {
 	sum := make([]float32, gradLen)
 	for _, w := range workers {
-		g := e.Recv(w, tagGradUp)
+		g, err := e.RecvCtx(ctx, w, tagGradUp)
+		if err != nil {
+			return fmt.Errorf("ring: aggregator gather from %d: %w", w, err)
+		}
 		if len(g) != gradLen {
-			panic(fmt.Sprintf("ring: aggregator got %d floats from %d, want %d", len(g), w, gradLen))
+			return fmt.Errorf("ring: aggregator got %d floats from %d, want %d", len(g), w, gradLen)
 		}
 		for i, v := range g {
 			sum[i] += v
@@ -147,6 +210,9 @@ func AggregateStep(e comm.Peer, workers []int, gradLen int, update func(sum []fl
 	weights := update(sum)
 	for _, w := range workers {
 		// Weights are never ToS-tagged: loss is intolerable on this leg.
-		e.Send(w, weights, 0, tagWeightsDn)
+		if err := e.SendCtx(ctx, w, weights, 0, tagWeightsDn); err != nil {
+			return fmt.Errorf("ring: aggregator broadcast to %d: %w", w, err)
+		}
 	}
+	return nil
 }

@@ -1,0 +1,84 @@
+package tcpfabric
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeed builds a full frame (header ++ body) for the seed corpus.
+func fuzzSeed(h frameHeader, body []byte) []byte {
+	hb := encodeHeader(h)
+	return append(hb[:], body...)
+}
+
+// FuzzFrameDecode feeds arbitrary bytes through the header validator and,
+// when the header passes, the raw payload decoder. The invariants:
+// decoding never panics, and hostile length fields are rejected before
+// they can drive an allocation (an accepted data header is capped at
+// maxFrameFloats/maxFrameBytes).
+func FuzzFrameDecode(f *testing.F) {
+	// Valid raw data frame carrying two floats.
+	rawBody := encodeRawPayload([]float32{1.5, -2.25})
+	f.Add(fuzzSeed(frameHeader{
+		kind: kindData, seq: 1, tag: 7, count: 2,
+		payloadLen: uint32(len(rawBody)), crc: bodyCRC(rawBody),
+	}, rawBody))
+	// Valid compressed data frame shape (body is opaque to the decoder).
+	f.Add(fuzzSeed(frameHeader{
+		kind: kindData, tos: 0x28, flags: flagCompressed,
+		seq: 2, tag: 9, count: 16, payloadLen: 8, bitLen: 60,
+		crc: bodyCRC(make([]byte, 8)),
+	}, make([]byte, 8)))
+	// Control frames.
+	f.Add(fuzzSeed(frameHeader{kind: kindAck, seq: 3}, nil))
+	f.Add(fuzzSeed(frameHeader{kind: kindNack, flags: flagWantRaw, seq: 4}, nil))
+	// Hostile: payloadLen and count claim gigabytes.
+	hostile := encodeHeader(frameHeader{
+		kind: kindData, count: 1 << 30, payloadLen: 1 << 31,
+	})
+	f.Add(hostile[:])
+	// Hostile: raw sizing mismatch (count*4 != payloadLen).
+	mismatch := encodeHeader(frameHeader{kind: kindData, count: 3, payloadLen: 8})
+	f.Add(mismatch[:])
+	// Bad magic, bad kind, nonzero reserved byte.
+	bad := encodeHeader(frameHeader{kind: kindData})
+	binary.LittleEndian.PutUint32(bad[0:], 0xDEADBEEF)
+	f.Add(bad[:])
+	badKind := encodeHeader(frameHeader{kind: 37})
+	f.Add(badKind[:])
+	reserved := encodeHeader(frameHeader{kind: kindAck})
+	reserved[7] = 0xFF
+	f.Add(reserved[:])
+	// Truncated header.
+	f.Add([]byte{0x50, 0x43, 0x4E, 0x49, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHeader(data)
+		if err != nil {
+			return // rejected before any allocation: the safe outcome
+		}
+		// Accepted headers must respect the hostility limits.
+		if h.kind == kindData {
+			if h.count > maxFrameFloats || h.payloadLen > maxFrameBytes {
+				t.Fatalf("hostile lengths accepted: count=%d payloadLen=%d", h.count, h.payloadLen)
+			}
+			if h.flags&flagCompressed == 0 && h.payloadLen != 4*h.count {
+				t.Fatalf("inconsistent raw sizing accepted: count=%d payloadLen=%d", h.count, h.payloadLen)
+			}
+		} else if h.payloadLen != 0 {
+			t.Fatalf("control frame with body accepted: %d bytes", h.payloadLen)
+		}
+		body := data[frameHeaderLen:]
+		if uint32(len(body)) > h.payloadLen {
+			body = body[:h.payloadLen]
+		}
+		// The CRC guards delivery, not parsing: run the raw decoder even on
+		// mismatched checksums — it must error on bad sizes, never panic.
+		if h.kind == kindData && h.flags&flagCompressed == 0 {
+			vals, err := decodeRawPayload(h, body)
+			if err == nil && uint32(len(vals)) != h.count {
+				t.Fatalf("decoded %d floats, header said %d", len(vals), h.count)
+			}
+		}
+	})
+}

@@ -9,55 +9,121 @@
 // travel over the socket; the receiving side's ingress engine reconstructs
 // the floats. Untagged traffic ships raw IEEE-754 bytes.
 //
-// Wire framing (all little-endian):
-//
-//	u32 magic      0x494E4350 ("INCP")
-//	u8  tos
-//	u8  flags      bit0 = compressed payload
-//	u32 tag
-//	u32 count      float32 values represented
-//	u32 payloadLen bytes following
-//	u32 bitLen     exact compressed bit count (compressed frames only)
-//	... payload
+// The transport is fault tolerant. Every data frame carries a per-link
+// sequence number and a CRC32-C of its body (see frame.go for the wire
+// layout). The receiver verifies, dedupes, and delivers in order, ACKing
+// progress cumulatively; a corrupt frame, a sequence gap, or a receive
+// stall triggers a NACK that makes the sender retransmit from its
+// per-link buffer, with capped attempts. A compressed frame whose CRC
+// validates but whose codec bitstream fails to decode is re-requested as
+// a *raw* frame (flagWantRaw): training degrades to an uncompressed hop
+// instead of dying — observable via DegradedFrames. Fault injection for
+// chaos testing plugs in through ClusterOptions.Chaos (internal/fault);
+// faults apply to the data plane only, control frames ride clean TCP.
 package tcpfabric
 
 import (
-	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"bufio"
 
 	"inceptionn/internal/comm"
+	"inceptionn/internal/fault"
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/nic"
 )
 
-const frameMagic = 0x494E4350
+// Errors surfaced by the fault-tolerant paths.
+var (
+	// ErrClosed marks an operation on a closed cluster.
+	ErrClosed = errors.New("tcpfabric: closed")
+	// ErrSendWindow marks a send that would overflow the retransmit
+	// buffer (the peer stopped acknowledging).
+	ErrSendWindow = errors.New("tcpfabric: send window overflow")
+	// ErrRetriesExhausted marks a frame whose retransmission budget ran
+	// out.
+	ErrRetriesExhausted = errors.New("tcpfabric: retries exhausted")
+)
 
-const flagCompressed = 1
+// RetryPolicy tunes the recovery protocol.
+type RetryPolicy struct {
+	// ProbeRTO is the initial receiver-side stall timeout before it
+	// probes the sender with a NACK; it doubles per probe up to MaxRTO.
+	// Default 25ms.
+	ProbeRTO time.Duration
+	// MaxRTO caps the probe backoff. Default 400ms.
+	MaxRTO time.Duration
+	// MaxAttempts caps transmissions per frame, first try included.
+	// Default 32.
+	MaxAttempts int
+	// Window caps unacknowledged frames per link. Default 4096.
+	Window int
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.ProbeRTO <= 0 {
+		r.ProbeRTO = 25 * time.Millisecond
+	}
+	if r.MaxRTO <= 0 {
+		r.MaxRTO = 400 * time.Millisecond
+	}
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 32
+	}
+	if r.Window <= 0 {
+		r.Window = 4096
+	}
+	return r
+}
+
+// ClusterOptions configures NewClusterWithOptions.
+type ClusterOptions struct {
+	// Compress enables the NIC engines on ToS 0x28 frames.
+	Compress bool
+	// Bound is the codec error bound.
+	Bound fpcodec.Bound
+	// Chaos, if non-nil, injects deterministic faults into the data
+	// plane (drops, corruption, truncation, duplication, delay,
+	// partitions, crashes).
+	Chaos *fault.Injector
+	// Retry tunes the recovery protocol; zero values take defaults.
+	Retry RetryPolicy
+}
 
 // Cluster is a fully connected set of TCP nodes on the loopback interface.
 type Cluster struct {
 	n     int
 	bound fpcodec.Bound
 	useC  bool
+	chaos *fault.Injector
+	retry RetryPolicy
 
 	nodes []*Node
 }
 
-// Node is one TCP endpoint; it implements comm.Peer.
+// Node is one TCP endpoint; it implements comm.Peer and comm.CtxPeer.
 type Node struct {
 	cluster *Cluster
 	id      int
 
-	conns  []net.Conn // conns[peer], nil for self
-	write  []*bufio.Writer
-	wmu    []sync.Mutex
-	inbox  []chan frame // inbox[peer]
-	closed chan struct{}
+	conns     []net.Conn // conns[peer], nil for self
+	write     []*bufio.Writer
+	wmu       []sync.Mutex
+	inbox     []chan decodedFrame // inbox[peer]: verified in-order data
+	out       []outLink           // out[peer]: retransmit state
+	in        []inLink            // in[peer]: reorder/dedupe state
+	stats     []*comm.LinkStats   // stats[peer]: this node's link counters
+	closed    chan struct{}
+	closeOnce sync.Once
+	errs      chan error // torn frames, protocol violations, dead links
 
 	// engines are per-node, as in the hardware (one NIC per host); the
 	// mutexes serialize them the way the single AXI stream does.
@@ -66,24 +132,66 @@ type Node struct {
 	de   *nic.DecompressionEngine
 	deMu sync.Mutex
 
+	degraded      atomic.Int64
 	sentBytes     int64
 	receivedBytes int64
 	statsMu       sync.Mutex
 }
 
-type frame struct {
+// outLink is the sender side of one directed link: the frames not yet
+// cumulatively ACKed, kept for retransmission.
+type outLink struct {
+	mu   sync.Mutex
+	next uint32
+	buf  map[uint32]*outFrame
+}
+
+// outFrame is one retransmittable frame: the original floats are kept so
+// a want-raw NACK can resend the block uncompressed.
+type outFrame struct {
+	payload  []float32
+	tos      uint8
+	tag      int
+	attempts int
+}
+
+// inLink is the receiver side: next expected sequence plus the stash of
+// frames that arrived ahead of a retransmitted gap.
+type inLink struct {
+	mu       sync.Mutex
+	expected uint32
+	pending  map[uint32]decodedFrame
+}
+
+type decodedFrame struct {
+	seq     uint32
 	tag     int
 	payload []float32
 }
+
+// maxPending bounds the out-of-order stash per link.
+const maxPending = 4096
 
 // NewCluster starts n nodes on loopback and fully connects them. If
 // compress is true, frames sent with ToS 0x28 are codec-compressed on the
 // wire using the given error bound.
 func NewCluster(n int, compress bool, bound fpcodec.Bound) (*Cluster, error) {
+	return NewClusterWithOptions(n, ClusterOptions{Compress: compress, Bound: bound})
+}
+
+// NewClusterWithOptions starts n nodes with explicit fault-tolerance and
+// chaos configuration.
+func NewClusterWithOptions(n int, opts ClusterOptions) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("tcpfabric: %d nodes", n)
 	}
-	c := &Cluster{n: n, bound: bound, useC: compress}
+	c := &Cluster{
+		n:     n,
+		bound: opts.Bound,
+		useC:  opts.Compress,
+		chaos: opts.Chaos,
+		retry: opts.Retry.withDefaults(),
+	}
 
 	listeners := make([]net.Listener, n)
 	for i := range listeners {
@@ -102,19 +210,38 @@ func NewCluster(n int, compress bool, bound fpcodec.Bound) (*Cluster, error) {
 			conns:   make([]net.Conn, n),
 			write:   make([]*bufio.Writer, n),
 			wmu:     make([]sync.Mutex, n),
-			inbox:   make([]chan frame, n),
+			inbox:   make([]chan decodedFrame, n),
+			out:     make([]outLink, n),
+			in:      make([]inLink, n),
+			stats:   make([]*comm.LinkStats, n),
 			closed:  make(chan struct{}),
-			ce:      nic.NewCompressionEngine(bound),
-			de:      nic.NewDecompressionEngine(bound),
+			errs:    make(chan error, 16),
+			ce:      nic.NewCompressionEngine(opts.Bound),
+			de:      nic.NewDecompressionEngine(opts.Bound),
 		}
 		for p := range node.inbox {
-			node.inbox[p] = make(chan frame, 256)
+			node.inbox[p] = make(chan decodedFrame, 256)
+			node.out[p].buf = make(map[uint32]*outFrame)
+			node.in[p].pending = make(map[uint32]decodedFrame)
+			node.stats[p] = &comm.LinkStats{}
 		}
 		c.nodes[i] = node
 	}
 
 	// Connect each ordered pair (i < j): i dials j and announces itself.
-	var acceptErr error
+	// The accept goroutines record only the first error, under a mutex —
+	// several of them may fail concurrently when a listener dies.
+	var (
+		acceptMu  sync.Mutex
+		acceptErr error
+	)
+	setAcceptErr := func(err error) {
+		acceptMu.Lock()
+		if acceptErr == nil {
+			acceptErr = err
+		}
+		acceptMu.Unlock()
+	}
 	var wg sync.WaitGroup
 	for j := 0; j < n; j++ {
 		wg.Add(1)
@@ -123,12 +250,12 @@ func NewCluster(n int, compress bool, bound fpcodec.Bound) (*Cluster, error) {
 			for k := 0; k < j; k++ { // j accepts one conn from every i < j
 				conn, err := listeners[j].Accept()
 				if err != nil {
-					acceptErr = err
+					setAcceptErr(err)
 					return
 				}
 				var hello [4]byte
 				if _, err := io.ReadFull(conn, hello[:]); err != nil {
-					acceptErr = err
+					setAcceptErr(err)
 					return
 				}
 				i := int(binary.LittleEndian.Uint32(hello[:]))
@@ -154,6 +281,8 @@ func NewCluster(n int, compress bool, bound fpcodec.Bound) (*Cluster, error) {
 	for _, l := range listeners {
 		l.Close()
 	}
+	acceptMu.Lock()
+	defer acceptMu.Unlock()
 	if acceptErr != nil {
 		return nil, fmt.Errorf("tcpfabric: accept: %w", acceptErr)
 	}
@@ -173,21 +302,56 @@ func (c *Cluster) N() int { return c.n }
 // Node returns endpoint id.
 func (c *Cluster) Node(id int) *Node { return c.nodes[id] }
 
-// Close shuts down every connection.
+// Close shuts down every connection. It is idempotent and safe to call
+// concurrently.
 func (c *Cluster) Close() {
 	for _, nd := range c.nodes {
-		select {
-		case <-nd.closed:
-		default:
-			close(nd.closed)
-		}
+		nd.close()
+	}
+}
+
+func (nd *Node) close() {
+	nd.closeOnce.Do(func() {
+		close(nd.closed)
 		for _, conn := range nd.conns {
 			if conn != nil {
 				conn.Close()
 			}
 		}
+	})
+}
+
+func (nd *Node) isClosed() bool {
+	select {
+	case <-nd.closed:
+		return true
+	default:
+		return false
 	}
 }
+
+// pushErr surfaces a link anomaly on the node's error channel without
+// ever blocking the reader.
+func (nd *Node) pushErr(err error) {
+	select {
+	case nd.errs <- err:
+	default:
+	}
+}
+
+// Errors is the node's anomaly channel: torn frames, protocol violations,
+// and links whose retransmission budget ran out are reported here,
+// distinguishing them from a clean connection close.
+func (nd *Node) Errors() <-chan error { return nd.errs }
+
+// LinkStats returns this node's recovery counters for traffic exchanged
+// with peer: NACKs issued, retransmissions performed, degraded frames
+// accepted, and receive-wait time (straggler detection).
+func (nd *Node) LinkStats(peer int) *comm.LinkStats { return nd.stats[peer] }
+
+// DegradedFrames counts compressed frames this node had to re-request and
+// accept as raw after a codec decode failure.
+func (nd *Node) DegradedFrames() int64 { return nd.degraded.Load() }
 
 // ID implements comm.Peer.
 func (nd *Node) ID() int { return nd.id }
@@ -195,76 +359,225 @@ func (nd *Node) ID() int { return nd.id }
 // N implements comm.Peer.
 func (nd *Node) N() int { return nd.cluster.n }
 
-// Send implements comm.Peer: it frames the payload (compressing it through
-// this node's egress engine when tagged and compression is enabled) and
-// writes it to the peer's socket.
+// Send implements comm.Peer by panicking on unrecoverable transport
+// errors, preserving the legacy contract.
 func (nd *Node) Send(dst int, payload []float32, tos uint8, tag int) {
-	if dst == nd.id {
-		panic("tcpfabric: send to self")
+	if err := nd.SendCtx(context.Background(), dst, payload, tos, tag); err != nil {
+		panic(fmt.Sprintf("tcpfabric: send %d->%d: %v", nd.id, dst, err))
 	}
-	var header [22]byte
-	binary.LittleEndian.PutUint32(header[0:], frameMagic)
-	header[4] = tos
-	binary.LittleEndian.PutUint32(header[6:], uint32(tag))
-	binary.LittleEndian.PutUint32(header[10:], uint32(len(payload)))
-
-	var body []byte
-	if nd.cluster.useC && tos == comm.ToSCompress {
-		nd.ceMu.Lock()
-		data, bits := nd.ce.CompressPayload(payload)
-		body = append([]byte(nil), data...) // engine buffer is reused per call
-		nd.ceMu.Unlock()
-		header[5] = flagCompressed
-		binary.LittleEndian.PutUint32(header[14:], uint32(len(body)))
-		binary.LittleEndian.PutUint32(header[18:], uint32(bits))
-	} else {
-		body = make([]byte, 4*len(payload))
-		for i, v := range payload {
-			binary.LittleEndian.PutUint32(body[4*i:], math.Float32bits(v))
-		}
-		binary.LittleEndian.PutUint32(header[14:], uint32(len(body)))
-	}
-
-	nd.wmu[dst].Lock()
-	defer nd.wmu[dst].Unlock()
-	w := nd.write[dst]
-	if _, err := w.Write(header[:]); err != nil {
-		panic(fmt.Sprintf("tcpfabric: write header %d->%d: %v", nd.id, dst, err))
-	}
-	if _, err := w.Write(body); err != nil {
-		panic(fmt.Sprintf("tcpfabric: write body %d->%d: %v", nd.id, dst, err))
-	}
-	if err := w.Flush(); err != nil {
-		panic(fmt.Sprintf("tcpfabric: flush %d->%d: %v", nd.id, dst, err))
-	}
-	nd.statsMu.Lock()
-	nd.sentBytes += int64(len(header) + len(body))
-	nd.statsMu.Unlock()
 }
 
 // Recv implements comm.Peer.
 func (nd *Node) Recv(src int, tag int) []float32 {
-	select {
-	case f := <-nd.inbox[src]:
-		if f.tag != tag {
-			panic(fmt.Sprintf("tcpfabric: node %d expected tag %d from %d, got %d",
-				nd.id, tag, src, f.tag))
+	out, err := nd.RecvCtx(context.Background(), src, tag)
+	if err != nil {
+		panic(fmt.Sprintf("tcpfabric: recv %d<-%d: %v", nd.id, src, err))
+	}
+	return out
+}
+
+var _ comm.CtxPeer = (*Node)(nil)
+
+// SendCtx frames the payload, registers it in the per-link retransmit
+// buffer, and transmits it. The frame stays buffered until the receiver's
+// cumulative ACK covers it, so NACKs (corruption, gaps, stalls, want-raw
+// degradation) can be served from here.
+func (nd *Node) SendCtx(ctx context.Context, dst int, payload []float32, tos uint8, tag int) error {
+	if dst == nd.id {
+		return fmt.Errorf("tcpfabric: node %d send to self", nd.id)
+	}
+	if nd.isClosed() {
+		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if ch := nd.cluster.chaos; ch != nil && ch.RecordSend(nd.id) {
+		return fmt.Errorf("tcpfabric: node %d: %w", nd.id, fault.ErrCrashed)
+	}
+	ol := &nd.out[dst]
+	ol.mu.Lock()
+	if len(ol.buf) >= nd.cluster.retry.Window {
+		ol.mu.Unlock()
+		return fmt.Errorf("tcpfabric: %d->%d: %w", nd.id, dst, ErrSendWindow)
+	}
+	seq := ol.next
+	ol.next++
+	of := &outFrame{payload: append([]float32(nil), payload...), tos: tos, tag: tag}
+	ol.buf[seq] = of
+	ol.mu.Unlock()
+	return nd.transmit(dst, seq, of, false)
+}
+
+// transmit encodes and writes one frame (fresh send or retransmission),
+// applying the chaos verdict for this attempt. raw forces an uncompressed
+// body (the degraded fallback).
+func (nd *Node) transmit(dst int, seq uint32, of *outFrame, raw bool) error {
+	ol := &nd.out[dst]
+	ol.mu.Lock()
+	attempt := of.attempts
+	of.attempts++
+	ol.mu.Unlock()
+	if attempt > 0 {
+		nd.stats[dst].Retransmits.Add(1)
+	}
+
+	h := frameHeader{
+		kind:  kindData,
+		tos:   of.tos,
+		seq:   seq,
+		tag:   uint32(of.tag),
+		count: uint32(len(of.payload)),
+	}
+	var body []byte
+	if nd.cluster.useC && of.tos == comm.ToSCompress && !raw {
+		nd.ceMu.Lock()
+		data, bits := nd.ce.CompressPayload(of.payload)
+		body = append([]byte(nil), data...) // engine buffer is reused per call
+		nd.ceMu.Unlock()
+		h.flags |= flagCompressed
+		h.bitLen = uint32(bits)
+	} else {
+		body = encodeRawPayload(of.payload)
+		if raw {
+			h.flags |= flagRawFallback
 		}
-		return f.payload
-	case <-nd.closed:
-		panic(fmt.Sprintf("tcpfabric: node %d recv from %d after close", nd.id, src))
+	}
+
+	// Chaos injection, data plane only. Truncation happens before the CRC
+	// is computed (a glitching engine), corruption after (on-wire damage).
+	var v fault.Verdict
+	v.CorruptBit = -1
+	if ch := nd.cluster.chaos; ch != nil {
+		v = ch.Decide(nd.id, dst, uint64(seq), attempt)
+	}
+	if v.Delay > 0 {
+		select {
+		case <-time.After(v.Delay):
+		case <-nd.closed:
+			return ErrClosed
+		}
+	}
+	if v.TruncateBytes > 0 && h.flags&flagCompressed != 0 && len(body) > v.TruncateBytes {
+		// A glitching engine emits a short bitstream: the frame stays
+		// well-formed (bitLen clamped to the body it actually carries) and
+		// CRC-valid, but the codec runs out of bits mid-group and fails,
+		// driving the receiver's raw-fallback path.
+		body = body[:len(body)-v.TruncateBytes]
+		if h.bitLen > 8*uint32(len(body)) {
+			h.bitLen = 8 * uint32(len(body))
+		}
+	}
+	h.payloadLen = uint32(len(body))
+	h.crc = bodyCRC(body)
+	if v.CorruptBit >= 0 && len(body) > 0 {
+		body = append([]byte(nil), body...)
+		bit := v.CorruptBit % (8 * len(body))
+		body[bit/8] ^= 1 << (bit % 8)
+	}
+	if v.Drop {
+		return nil // the frame "left" but never hits the wire
+	}
+	writes := 1
+	if v.Duplicate {
+		writes = 2
+	}
+	for w := 0; w < writes; w++ {
+		if err := nd.writeFrame(dst, h, body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFrame serializes one frame onto the peer's socket.
+func (nd *Node) writeFrame(dst int, h frameHeader, body []byte) error {
+	header := encodeHeader(h)
+	nd.wmu[dst].Lock()
+	defer nd.wmu[dst].Unlock()
+	if nd.isClosed() {
+		return ErrClosed
+	}
+	w := nd.write[dst]
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("tcpfabric: write header %d->%d: %w", nd.id, dst, err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("tcpfabric: write body %d->%d: %w", nd.id, dst, err)
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("tcpfabric: flush %d->%d: %w", nd.id, dst, err)
+	}
+	nd.statsMu.Lock()
+	nd.sentBytes += int64(len(header) + len(body))
+	nd.statsMu.Unlock()
+	return nil
+}
+
+// sendCtl emits an ACK or NACK. Control frames bypass chaos injection:
+// the fault model is a lossy data plane under a reliable control plane.
+func (nd *Node) sendCtl(dst int, kind uint8, seq uint32, wantRaw bool) {
+	h := frameHeader{kind: kind, seq: seq}
+	if wantRaw {
+		h.flags |= flagWantRaw
+	}
+	if err := nd.writeFrame(dst, h, nil); err != nil && !nd.isClosed() {
+		nd.pushErr(err)
+	}
+}
+
+// RecvCtx returns the next in-order verified payload from src. While
+// stalled it probes the sender with NACKs for the expected frame (with
+// exponential backoff) so a dropped frame or lost NACK is recovered; the
+// context deadline bounds the total wait, turning a permanent partition
+// into an error instead of a hang.
+func (nd *Node) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error) {
+	start := time.Now()
+	rto := nd.cluster.retry.ProbeRTO
+	for {
+		timer := time.NewTimer(rto)
+		select {
+		case f := <-nd.inbox[src]:
+			timer.Stop()
+			nd.stats[src].ObserveRecvWait(time.Since(start).Nanoseconds())
+			if f.tag != tag {
+				return nil, fmt.Errorf("tcpfabric: node %d expected tag %d from %d, got %d",
+					nd.id, tag, src, f.tag)
+			}
+			return f.payload, nil
+		case <-timer.C:
+			// Stall: re-request the next expected frame in case it (or a
+			// NACK for it) was dropped. A probe for a frame the sender has
+			// not produced yet is ignored on the far side.
+			il := &nd.in[src]
+			il.mu.Lock()
+			exp := il.expected
+			il.mu.Unlock()
+			nd.sendCtl(src, kindNack, exp, false)
+			if rto *= 2; rto > nd.cluster.retry.MaxRTO {
+				rto = nd.cluster.retry.MaxRTO
+			}
+		case <-ctx.Done():
+			timer.Stop()
+			nd.stats[src].Timeouts.Add(1)
+			return nil, fmt.Errorf("tcpfabric: recv %d<-%d after %v: %w",
+				nd.id, src, time.Since(start).Round(time.Millisecond), ctx.Err())
+		case <-nd.closed:
+			timer.Stop()
+			return nil, fmt.Errorf("tcpfabric: node %d recv from %d: %w", nd.id, src, ErrClosed)
+		}
 	}
 }
 
 // SentBytes returns the total bytes this node wrote to its sockets
-// (headers + payloads, post-compression).
+// (headers + payloads, post-compression, control frames included).
 func (nd *Node) SentBytes() int64 {
 	nd.statsMu.Lock()
 	defer nd.statsMu.Unlock()
 	return nd.sentBytes
 }
 
-// ReceivedBytes returns the total payload-frame bytes read.
+// ReceivedBytes returns the total frame bytes read.
 func (nd *Node) ReceivedBytes() int64 {
 	nd.statsMu.Lock()
 	defer nd.statsMu.Unlock()
@@ -276,58 +589,173 @@ func (nd *Node) EngineCycles() (compress, decompress int64) {
 	return nd.ce.Cycles(), nd.de.Cycles()
 }
 
-// readLoop parses frames from one peer connection and queues them.
+// readLoop parses frames from one peer connection, dispatching data
+// frames through the verify/dedupe/reorder machinery and control frames
+// to the retransmit state. A clean close (EOF at a frame boundary, or a
+// local Close) ends the loop silently; a torn frame or protocol violation
+// is surfaced on the node's error channel first.
 func (nd *Node) readLoop(peer int, conn net.Conn) {
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		var header [22]byte
+		var header [frameHeaderLen]byte
 		if _, err := io.ReadFull(r, header[:]); err != nil {
-			return // connection closed
+			if err != io.EOF && !nd.isClosed() {
+				nd.pushErr(fmt.Errorf("tcpfabric: node %d torn header from %d: %w", nd.id, peer, err))
+			}
+			return
 		}
-		if binary.LittleEndian.Uint32(header[0:]) != frameMagic {
-			panic(fmt.Sprintf("tcpfabric: node %d bad magic from %d", nd.id, peer))
+		h, err := decodeHeader(header[:])
+		if err != nil {
+			// The stream is desynchronized beyond recovery.
+			nd.pushErr(fmt.Errorf("tcpfabric: node %d from %d: %w", nd.id, peer, err))
+			return
 		}
-		tos := header[4]
-		flags := header[5]
-		tag := int(binary.LittleEndian.Uint32(header[6:]))
-		count := int(binary.LittleEndian.Uint32(header[10:]))
-		payloadLen := int(binary.LittleEndian.Uint32(header[14:]))
-		bitLen := int(binary.LittleEndian.Uint32(header[18:]))
-		body := make([]byte, payloadLen)
+		body := make([]byte, h.payloadLen)
 		if _, err := io.ReadFull(r, body); err != nil {
+			if !nd.isClosed() {
+				nd.pushErr(fmt.Errorf("tcpfabric: node %d torn frame body from %d (%d/%dB): %w",
+					nd.id, peer, 0, h.payloadLen, err))
+			}
 			return
 		}
 		nd.statsMu.Lock()
 		nd.receivedBytes += int64(len(header) + len(body))
 		nd.statsMu.Unlock()
 
-		var payload []float32
-		if flags&flagCompressed != 0 {
-			if tos != comm.ToSCompress {
-				panic(fmt.Sprintf("tcpfabric: node %d compressed frame without ToS from %d", nd.id, peer))
+		switch h.kind {
+		case kindAck:
+			nd.handleAck(peer, h.seq)
+		case kindNack:
+			nd.handleNack(peer, h.seq, h.flags&flagWantRaw != 0)
+		case kindData:
+			if !nd.handleData(peer, h, body) {
+				return
 			}
-			nd.deMu.Lock()
-			out, err := nd.de.DecompressPayload(body, bitLen, count)
-			nd.deMu.Unlock()
-			if err != nil {
-				panic(fmt.Sprintf("tcpfabric: node %d decompress from %d: %v", nd.id, peer, err))
-			}
-			payload = out
-		} else {
-			if payloadLen != 4*count {
-				panic(fmt.Sprintf("tcpfabric: node %d raw frame %dB for %d floats", nd.id, payloadLen, count))
-			}
-			payload = make([]float32, count)
-			for i := range payload {
-				payload[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
-			}
-		}
-		select {
-		case nd.inbox[peer] <- frame{tag: tag, payload: payload}:
-		case <-nd.closed:
-			return
 		}
 	}
 }
 
-var _ comm.Peer = (*Node)(nil)
+// handleAck prunes the retransmit buffer up to the cumulative ack.
+func (nd *Node) handleAck(peer int, seq uint32) {
+	ol := &nd.out[peer]
+	ol.mu.Lock()
+	for k := range ol.buf {
+		if k <= seq {
+			delete(ol.buf, k)
+		}
+	}
+	ol.mu.Unlock()
+}
+
+// handleNack retransmits the requested frame from the buffer — raw if the
+// receiver's codec failed on it — respecting the attempt cap.
+func (nd *Node) handleNack(peer int, seq uint32, wantRaw bool) {
+	ol := &nd.out[peer]
+	ol.mu.Lock()
+	of, ok := ol.buf[seq]
+	exhausted := ok && of.attempts >= nd.cluster.retry.MaxAttempts
+	ol.mu.Unlock()
+	if !ok {
+		// Either already delivered+acked, or a stall probe for a frame
+		// this node has not sent yet. Both are safely ignored.
+		return
+	}
+	if exhausted {
+		nd.pushErr(fmt.Errorf("tcpfabric: frame %d->%d seq %d: %w",
+			nd.id, peer, seq, ErrRetriesExhausted))
+		return
+	}
+	if err := nd.transmit(peer, seq, of, wantRaw); err != nil && !nd.isClosed() {
+		nd.pushErr(err)
+	}
+}
+
+// handleData verifies, decodes, dedupes, and delivers one data frame,
+// ACKing progress and NACKing anomalies. It returns false only when the
+// node is shutting down.
+func (nd *Node) handleData(peer int, h frameHeader, body []byte) bool {
+	if bodyCRC(body) != h.crc {
+		nd.stats[peer].Nacks.Add(1)
+		nd.sendCtl(peer, kindNack, h.seq, false)
+		return true
+	}
+	var payload []float32
+	if h.flags&flagCompressed != 0 {
+		if h.tos != comm.ToSCompress {
+			nd.pushErr(fmt.Errorf("tcpfabric: node %d compressed frame without ToS from %d", nd.id, peer))
+			return false
+		}
+		nd.deMu.Lock()
+		out, err := nd.de.DecompressPayload(body, int(h.bitLen), int(h.count))
+		nd.deMu.Unlock()
+		if err != nil {
+			// The bits survived the wire (CRC ok) but the codec cannot
+			// decode them — a glitching engine. Degrade: re-request the
+			// block raw so training continues uncompressed for this hop.
+			nd.stats[peer].Nacks.Add(1)
+			nd.sendCtl(peer, kindNack, h.seq, true)
+			return true
+		}
+		payload = out
+	} else {
+		out, err := decodeRawPayload(h, body)
+		if err != nil {
+			nd.stats[peer].Nacks.Add(1)
+			nd.sendCtl(peer, kindNack, h.seq, false)
+			return true
+		}
+		payload = out
+		if h.flags&flagRawFallback != 0 {
+			nd.degraded.Add(1)
+			nd.stats[peer].Degraded.Add(1)
+		}
+	}
+
+	il := &nd.in[peer]
+	il.mu.Lock()
+	var deliver []decodedFrame
+	switch {
+	case h.seq == il.expected:
+		deliver = append(deliver, decodedFrame{seq: h.seq, tag: int(h.tag), payload: payload})
+		il.expected++
+		for {
+			next, ok := il.pending[il.expected]
+			if !ok {
+				break
+			}
+			delete(il.pending, il.expected)
+			deliver = append(deliver, next)
+			il.expected++
+		}
+	case h.seq > il.expected:
+		// A gap: an earlier frame was dropped. Stash this one and
+		// re-request the missing frame.
+		if len(il.pending) < maxPending {
+			il.pending[h.seq] = decodedFrame{seq: h.seq, tag: int(h.tag), payload: payload}
+		}
+		gap := il.expected
+		il.mu.Unlock()
+		nd.stats[peer].Nacks.Add(1)
+		nd.sendCtl(peer, kindNack, gap, false)
+		return true
+	default:
+		// Duplicate of an already-delivered frame: refresh the ACK so a
+		// sender stuck on a lost ACK converges, but never deliver twice.
+		acked := il.expected - 1
+		il.mu.Unlock()
+		nd.sendCtl(peer, kindAck, acked, false)
+		return true
+	}
+	acked := il.expected - 1
+	il.mu.Unlock()
+
+	nd.sendCtl(peer, kindAck, acked, false)
+	for _, d := range deliver {
+		select {
+		case nd.inbox[peer] <- d:
+		case <-nd.closed:
+			return false
+		}
+	}
+	return true
+}

@@ -1,11 +1,14 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
 
 	"inceptionn/internal/data"
+	"inceptionn/internal/fault"
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/ring"
 	"inceptionn/internal/tcpfabric"
@@ -16,6 +19,11 @@ import (
 // crosses a socket, compressed by the NIC engine model when o.Compress is
 // set. Options.Processor is ignored — the TCP fabric embeds its own
 // engines; bound selects their error bound.
+//
+// The exchange runs on the fault-tolerant path: o.StepTimeout bounds each
+// ring hop, o.Chaos injects deterministic transport faults, and the first
+// worker error (timeout, exhausted retries, crashed node) aborts the run
+// and is returned instead of panicking the process.
 func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Options, bound fpcodec.Bound) (Result, error) {
 	if o.Workers < 1 {
 		return Result{}, fmt.Errorf("train: %d workers", o.Workers)
@@ -26,7 +34,11 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	if o.EvalSamples == 0 {
 		o.EvalSamples = 256
 	}
-	cluster, err := tcpfabric.NewCluster(o.Workers, o.Compress, bound)
+	copts := tcpfabric.ClusterOptions{Compress: o.Compress, Bound: bound}
+	if o.Chaos != nil {
+		copts.Chaos = fault.NewInjector(o.Workers, *o.Chaos)
+	}
+	cluster, err := tcpfabric.NewClusterWithOptions(o.Workers, copts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -43,8 +55,33 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 		}
 	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Watch every node's anomaly channel: a transport-level failure that no
+	// worker blocks on directly — exhausted retries on a NACKed frame, a
+	// torn frame, stream desync — must still abort the run rather than
+	// leave the ring spinning on recovery probes forever.
+	var fabricMu sync.Mutex
+	var fabricErr error
+	for id := 0; id < o.Workers; id++ {
+		go func(errCh <-chan error) {
+			select {
+			case err := <-errCh:
+				fabricMu.Lock()
+				if fabricErr == nil {
+					fabricErr = err
+				}
+				fabricMu.Unlock()
+				cancel()
+			case <-ctx.Done():
+			}
+		}(cluster.Node(id).Errors())
+	}
+
 	var res Result
 	var wg sync.WaitGroup
+	errs := make([]error, o.Workers)
 	for id := 0; id < o.Workers; id++ {
 		wg.Add(1)
 		go func(id int) {
@@ -59,7 +96,12 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				ring.AllReduce(node, w.grad, o.gradTos(), finalize)
+				if err := ring.AllReduceCtx(ctx, node, w.grad, o.gradTos(), finalize,
+					ring.Options{StepTimeout: o.StepTimeout}); err != nil {
+					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
+					cancel() // unblock the other workers' ring steps
+					return
+				}
 				w.applyAveraged(iter, w.grad, o)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
@@ -74,6 +116,27 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 		}(id)
 	}
 	wg.Wait()
+	// Report the causal failure: the worker that hit the real fault, not
+	// one that merely observed the cancellation it triggered.
+	var firstErr error
+	for id := 0; id < o.Workers; id++ {
+		if errs[id] == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(errs[id], context.Canceled)) {
+			firstErr = errs[id]
+		}
+	}
+	fabricMu.Lock()
+	if fabricErr != nil && (firstErr == nil || errors.Is(firstErr, context.Canceled)) {
+		// The fabric anomaly is the root cause; worker errors are just the
+		// cancellation it triggered.
+		firstErr = fabricErr
+	}
+	fabricMu.Unlock()
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
 	for id := 0; id < o.Workers; id++ {
 		res.WireBytes += cluster.Node(id).SentBytes()
 	}

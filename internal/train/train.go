@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"inceptionn/internal/comm"
 	"inceptionn/internal/data"
+	"inceptionn/internal/fault"
 	"inceptionn/internal/hierarchy"
 	"inceptionn/internal/nn"
 	"inceptionn/internal/opt"
@@ -84,6 +86,18 @@ type Options struct {
 	// GroupSize is the intra-ring group size for the hierarchical
 	// algorithms (Fig. 1b/c); Workers must be a multiple of it.
 	GroupSize int
+
+	// StepTimeout bounds every individual ring send/recv step of RunRingTCP:
+	// a link stalled longer than this fails the run with a timeout error
+	// naming the slow hop, instead of hanging the whole training job.
+	// 0 disables the per-step deadline.
+	StepTimeout time.Duration
+	// Chaos, if non-nil, injects deterministic transport faults (drops,
+	// corruption, duplication, delay, partitions, crashes — see
+	// internal/fault) into RunRingTCP's wire traffic. The fabric's
+	// retransmit protocol repairs recoverable faults transparently;
+	// unrecoverable ones surface as errors from RunRingTCP.
+	Chaos *fault.Config
 
 	// ErrorFeedback enables residual error feedback on the lossy codec
 	// (Seide et al.'s 1-bit SGD technique, cited by the paper as [25]):
