@@ -2,7 +2,10 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz ci
+.PHONY: build test vet race fuzz bench benchsmoke ci
+
+# The hot-kernel benchmarks behind the BENCH_2.json speedup report.
+BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
 
 build:
 	$(GO) build ./...
@@ -14,13 +17,29 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector run of the packages with real concurrency (transports,
-# collectives, training loops) plus everything else.
+# collectives, training loops) plus everything else. The training
+# convergence suite alone runs ~30 min under -race on a single core,
+# hence the generous timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 60m ./...
 
 # Short fuzzing pass over the wire-frame decoder; the checked-in seed
 # corpus in internal/tcpfabric/testdata runs on every plain `make test`.
 fuzz:
 	$(GO) test ./internal/tcpfabric -run FuzzFrameDecode -fuzz FuzzFrameDecode -fuzztime 30s
 
-ci: vet race
+# Hot-kernel benchmark report: run the kernel/codec/training benchmarks
+# once pinned to a single core and once with the default parallelism, then
+# emit BENCH_2.json with per-benchmark ns/op, B/op, and the multi-core
+# speedup. On a single-core machine both runs coincide (speedup ≈ 1).
+bench:
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench_single.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench_multi.txt
+	$(GO) run ./cmd/benchjson -single bench_single.txt -multi bench_multi.txt -out BENCH_2.json
+
+# One-iteration smoke run of the same benchmarks, to keep them compiling
+# and executing under CI without paying for a full measurement.
+benchsmoke:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=1x .
+
+ci: vet race benchsmoke

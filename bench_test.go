@@ -21,6 +21,7 @@ import (
 	"inceptionn/internal/bitio"
 	"inceptionn/internal/comm"
 	"inceptionn/internal/compress/dgc"
+	"inceptionn/internal/data"
 	"inceptionn/internal/eventsim"
 	"inceptionn/internal/experiments"
 	"inceptionn/internal/fpcodec"
@@ -28,8 +29,12 @@ import (
 	"inceptionn/internal/models"
 	"inceptionn/internal/netsim"
 	"inceptionn/internal/nic"
+	"inceptionn/internal/nn"
+	"inceptionn/internal/opt"
 	"inceptionn/internal/ring"
 	"inceptionn/internal/tcpfabric"
+	"inceptionn/internal/tensor"
+	"inceptionn/internal/train"
 	"inceptionn/internal/trainsim"
 )
 
@@ -381,5 +386,85 @@ func BenchmarkDGCSparsify(b *testing.B) {
 	b.SetBytes(int64(4 * len(grad)))
 	for i := 0; i < b.N; i++ {
 		s.Compress(grad)
+	}
+}
+
+// ---- Hot-kernel benchmarks (parallel worker pool) ----
+//
+// These four back the `make bench` speedup report: each is run once with
+// GOMAXPROCS=1 and once with the default, and cmd/benchjson computes the
+// multi-core speedup from the two result sets.
+
+// BenchmarkMatMul measures the parallel row-sharded matrix multiply on a
+// convolution-shaped problem (256×576 · 576×1024).
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m, k, n := 256, 576, 1024
+	a := tensor.New(m, k)
+	a.FillRandn(rng, 1)
+	bb := tensor.New(k, n)
+	bb.FillRandn(rng, 1)
+	dst := tensor.New(m, n)
+	b.SetBytes(int64(4 * (m*k + k*n + m*n)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, a, bb)
+	}
+}
+
+// BenchmarkConvForwardBackward measures the batch-parallel Conv2D layer
+// (batch 16, 16→32 channels, 16×16 images).
+func BenchmarkConvForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	c := nn.NewConv2D("bench", 16, 32, 3, 1, 1, rng)
+	x := tensor.New(16, 16, 16, 16)
+	x.FillRandn(rng, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y := c.Forward(x, true)
+		c.Backward(y)
+	}
+}
+
+// BenchmarkRingTrainingE2E measures short end-to-end ring training runs on
+// the in-process fabric, with and without the pipelined chunked exchange
+// and the lossy codec. Every layer exercised here — conv/matmul kernels,
+// the stream codec, and the ring steps — rides the shared worker pool.
+func BenchmarkRingTrainingE2E(b *testing.B) {
+	trainDS := data.NewDigits(1024, 7)
+	testDS := data.NewDigits(128, 8)
+	cases := []struct {
+		name     string
+		compress bool
+		chunk    int
+	}{
+		{"lossless", false, 0},
+		{"losslessChunked", false, 4096},
+		{"compressedChunked", true, 4096},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			o := train.Options{
+				Workers:      4,
+				Algo:         train.Ring,
+				BatchPerNode: 16,
+				Schedule:     opt.StepSchedule{Base: 0.02},
+				Momentum:     0.9,
+				Seed:         42,
+				EvalSamples:  64,
+				ChunkSize:    c.chunk,
+			}
+			if c.compress {
+				o.Processor = comm.CodecProcessor{Bound: fpcodec.MustBound(10)}
+				o.Compress = true
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := train.Run(models.NewHDCSmall, trainDS, testDS, 5, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

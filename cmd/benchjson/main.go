@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` output into a machine-
+// readable JSON report. Given two result sets — one captured with
+// GOMAXPROCS=1 and one with the default parallelism — it pairs the
+// benchmarks by name and reports the multi-core speedup of each, which is
+// how `make bench` produces BENCH_2.json.
+//
+// Usage:
+//
+//	benchjson -single single.txt -multi multi.txt -out BENCH_2.json
+//
+// The -single flag is optional; without it, speedups are omitted and the
+// report carries only the -multi numbers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result (the -multi run), optionally annotated
+// with the single-core baseline.
+type Entry struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"b_per_op,omitempty"`
+	AllocsQty  int64   `json:"allocs_per_op,omitempty"`
+	MBPerSec   float64 `json:"mb_per_s,omitempty"`
+
+	SingleNsPerOp float64 `json:"single_ns_per_op,omitempty"`
+	Speedup       float64 `json:"speedup_vs_single,omitempty"`
+}
+
+// benchLine matches "BenchmarkName-8   123   456789 ns/op ..." and
+// captures the name (GOMAXPROCS suffix stripped), iteration count, and
+// the metric fields that follow.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parseFile reads one `go test -bench` output file into name→entry.
+func parseFile(path string) (map[string]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := make(map[string]Entry)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: m[1], Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = int64(v)
+			case "allocs/op":
+				e.AllocsQty = int64(v)
+			case "MB/s":
+				e.MBPerSec = v
+			}
+		}
+		out[e.Name] = e
+	}
+	return out, sc.Err()
+}
+
+func run() error {
+	single := flag.String("single", "", "bench output captured with GOMAXPROCS=1 (optional)")
+	multi := flag.String("multi", "", "bench output captured with default GOMAXPROCS (required)")
+	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	flag.Parse()
+	if *multi == "" {
+		return fmt.Errorf("-multi is required")
+	}
+
+	multiRes, err := parseFile(*multi)
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", *multi, err)
+	}
+	if len(multiRes) == 0 {
+		return fmt.Errorf("%s: no benchmark lines found", *multi)
+	}
+	var singleRes map[string]Entry
+	if *single != "" {
+		if singleRes, err = parseFile(*single); err != nil {
+			return fmt.Errorf("parsing %s: %w", *single, err)
+		}
+	}
+
+	entries := make([]Entry, 0, len(multiRes))
+	for _, e := range multiRes {
+		if s, ok := singleRes[e.Name]; ok && e.NsPerOp > 0 {
+			e.SingleNsPerOp = s.NsPerOp
+			e.Speedup = s.NsPerOp / e.NsPerOp
+		}
+		entries = append(entries, e)
+	}
+	// Deterministic order for diffable reports.
+	for i := 1; i < len(entries); i++ {
+		for j := i; j > 0 && entries[j].Name < entries[j-1].Name; j-- {
+			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", *out, len(entries))
+	for _, e := range entries {
+		if e.Speedup > 0 {
+			fmt.Printf("  %-40s %12.0f ns/op  speedup %.2fx\n", e.Name, e.NsPerOp, e.Speedup)
+		} else {
+			fmt.Printf("  %-40s %12.0f ns/op\n", e.Name, e.NsPerOp)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

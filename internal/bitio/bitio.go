@@ -9,6 +9,7 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -71,6 +72,37 @@ func (w *Writer) Bytes() []byte { return w.buf }
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
 	w.nbit = 0
+}
+
+// AppendBits appends the first nbits bits of buf (packed LSB-first, as
+// produced by Writer.Bytes) to w, at w's current — possibly unaligned —
+// bit position. It is the stitching primitive behind the parallel codec:
+// shard streams produced by independent Writers concatenate into exactly
+// the stream a single sequential Writer would have produced.
+func (w *Writer) AppendBits(buf []byte, nbits int) {
+	if nbits < 0 || nbits > 8*len(buf) {
+		panic(fmt.Sprintf("bitio: AppendBits %d bits from buffer of %d bits", nbits, 8*len(buf)))
+	}
+	i := 0
+	for nbits >= 64 {
+		w.WriteBits(binary.LittleEndian.Uint64(buf[i:]), 64)
+		i += 8
+		nbits -= 64
+	}
+	for nbits > 0 {
+		take := nbits
+		if take > 8 {
+			take = 8
+		}
+		w.WriteBits(uint64(buf[i]), take)
+		i++
+		nbits -= take
+	}
+}
+
+// Append appends every bit written to o onto w.
+func (w *Writer) Append(o *Writer) {
+	w.AppendBits(o.buf, o.nbit)
 }
 
 // Reader consumes bits LSB-first from a byte slice.
@@ -137,4 +169,15 @@ func (r *Reader) Skip(n int) error {
 	}
 	r.pos += n
 	return nil
+}
+
+// At returns a new Reader over the same buffer and bit limit, positioned
+// at absolute bit position pos. Readers returned by At share the
+// (immutable) buffer but carry private cursors, enabling concurrent
+// decoding of disjoint stream regions.
+func (r *Reader) At(pos int) *Reader {
+	if pos < 0 || pos > r.nbit {
+		panic(fmt.Sprintf("bitio: At(%d) outside [0,%d]", pos, r.nbit))
+	}
+	return &Reader{buf: r.buf, pos: pos, nbit: r.nbit}
 }

@@ -1,6 +1,7 @@
 package bitio
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -200,5 +201,88 @@ func BenchmarkReadBits(b *testing.B) {
 		if _, err := r.ReadBits(17); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestAppendBitsStitchesUnaligned verifies the stitching primitive at
+// every misalignment: writing a prefix of p bits and appending a second
+// stream must equal writing both streams through one Writer.
+func TestAppendBitsStitchesUnaligned(t *testing.T) {
+	payload := []uint64{0xDEADBEEFCAFE, 0x1234, 0x7, 0xFFFFFFFFFFFFFFFF}
+	widths := []int{47, 16, 3, 64}
+	for p := 0; p <= 17; p++ {
+		// Reference: single writer.
+		ref := NewWriter(64)
+		ref.WriteBits(0x5A5A5, p)
+		for i, v := range payload {
+			ref.WriteBits(v, widths[i])
+		}
+		// Stitched: second stream built independently, then appended.
+		part := NewWriter(64)
+		for i, v := range payload {
+			part.WriteBits(v, widths[i])
+		}
+		got := NewWriter(64)
+		got.WriteBits(0x5A5A5, p)
+		got.Append(part)
+		if got.Len() != ref.Len() {
+			t.Fatalf("p=%d: len %d vs %d", p, got.Len(), ref.Len())
+		}
+		if !bytes.Equal(got.Bytes(), ref.Bytes()) {
+			t.Fatalf("p=%d: stitched bytes differ:\n%x\n%x", p, got.Bytes(), ref.Bytes())
+		}
+	}
+}
+
+// TestWriterResetReuseRoundtrip pins the Reset contract the parallel
+// stitcher relies on: a reused shard writer must leave no residue from
+// the previous stream (stale buffer bits OR'd into fresh ones).
+func TestWriterResetReuseRoundtrip(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xFFFFFFFFFFFFFFFF, 61) // dirty the buffer with set bits
+	w.Reset()
+	w.WriteBits(0b1010, 4)
+	w.WriteBits(0, 9)
+	w.WriteBits(0x155, 9)
+	fresh := NewWriter(8)
+	fresh.WriteBits(0b1010, 4)
+	fresh.WriteBits(0, 9)
+	fresh.WriteBits(0x155, 9)
+	if w.Len() != fresh.Len() || !bytes.Equal(w.Bytes(), fresh.Bytes()) {
+		t.Fatalf("reused writer differs from fresh: %x (%d bits) vs %x (%d bits)",
+			w.Bytes(), w.Len(), fresh.Bytes(), fresh.Len())
+	}
+	// And the reused buffer round-trips through a reader.
+	r := NewReader(w.Bytes(), w.Len())
+	for _, want := range []struct {
+		v     uint64
+		width int
+	}{{0b1010, 4}, {0, 9}, {0x155, 9}} {
+		got, err := r.ReadBits(want.width)
+		if err != nil || got != want.v {
+			t.Fatalf("ReadBits(%d) = %x, %v; want %x", want.width, got, err, want.v)
+		}
+	}
+}
+
+// TestReaderAt checks the concurrent-decode cursor primitive.
+func TestReaderAt(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xABC, 12)
+	w.WriteBits(0xDEF, 12)
+	r := NewReader(w.Bytes(), w.Len())
+	if _, err := r.ReadBits(12); err != nil {
+		t.Fatal(err)
+	}
+	sub := r.At(12)
+	v, err := sub.ReadBits(12)
+	if err != nil || v != 0xDEF {
+		t.Fatalf("At(12).ReadBits(12) = %x, %v", v, err)
+	}
+	if r.Pos() != 12 {
+		t.Fatalf("At must not move the parent cursor: pos %d", r.Pos())
+	}
+	if sub.Remaining() != 0 {
+		t.Fatalf("sub remaining %d", sub.Remaining())
 	}
 }

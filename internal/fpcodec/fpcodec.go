@@ -37,6 +37,7 @@ import (
 	"math"
 
 	"inceptionn/internal/bitio"
+	"inceptionn/internal/par"
 )
 
 // Tag identifies the compression class of one value.
@@ -238,8 +239,72 @@ func DecompressGroup(r *bitio.Reader, dst []float32, b Bound) error {
 	return nil
 }
 
+// streamShards returns the number of group-aligned shards to use when
+// coding n values: enough values per shard to amortize fan-out, capped by
+// the worker pool size. A return of 1 selects the sequential path.
+func streamShards(n int) int {
+	const minShardValues = 16 * 1024
+	shards := n / minShardValues
+	if w := par.Workers(); shards > w {
+		shards = w
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// shardBounds splits n values into group-aligned shards: every shard but
+// the last covers a whole number of burst groups, so shard streams
+// concatenate into exactly the sequential stream.
+func shardBounds(n, shards, s int) (lo, hi int) {
+	groups := (n + GroupSize - 1) / GroupSize
+	per, rem := groups/shards, groups%shards
+	glo := s*per + min(s, rem)
+	gcount := per
+	if s < rem {
+		gcount++
+	}
+	lo = glo * GroupSize
+	if lo > n {
+		lo = n // more shards than groups: trailing shards are empty
+	}
+	hi = lo + gcount*GroupSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 // CompressStream encodes src into w using consecutive burst groups.
+//
+// Large inputs are compressed in parallel: group-aligned shards encode
+// into private writers, which are then stitched into w LSB-first
+// (bitio.Writer.Append). Burst groups are self-contained — a 16-bit tag
+// vector followed by that group's data — so the stitched stream is
+// bit-identical to a sequential encode for any worker count.
 func CompressStream(w *bitio.Writer, src []float32, b Bound) {
+	shards := streamShards(len(src))
+	if shards <= 1 {
+		compressStreamSeq(w, src, b)
+		return
+	}
+	parts := make([]*bitio.Writer, shards)
+	par.For(shards, 1, func(plo, phi int) {
+		for s := plo; s < phi; s++ {
+			lo, hi := shardBounds(len(src), shards, s)
+			pw := bitio.NewWriter((hi - lo + 1) / 2) // compressed streams are ~¼ size or less
+			compressStreamSeq(pw, src[lo:hi], b)
+			parts[s] = pw
+		}
+	})
+	for _, pw := range parts {
+		w.Append(pw)
+	}
+}
+
+// compressStreamSeq is the sequential group-by-group encoder.
+func compressStreamSeq(w *bitio.Writer, src []float32, b Bound) {
 	for len(src) > 0 {
 		n := len(src)
 		if n > GroupSize {
@@ -252,7 +317,42 @@ func CompressStream(w *bitio.Writer, src []float32, b Bound) {
 
 // DecompressStream decodes len(dst) values from r. The stream must have been
 // produced by CompressStream with the same bound and value count.
+//
+// Large streams decode in parallel: a cheap scan pass walks the tag
+// vectors (skipping data bits) to locate each group-aligned shard's bit
+// offset, then shards decode concurrently through private cursors over
+// the shared buffer (bitio.Reader.At). r is left positioned exactly where
+// the sequential decoder would leave it.
 func DecompressStream(r *bitio.Reader, dst []float32, b Bound) error {
+	shards := streamShards(len(dst))
+	if shards <= 1 {
+		return decompressStreamSeq(r, dst, b)
+	}
+	offsets := make([]int, shards)
+	for s := 0; s < shards; s++ {
+		offsets[s] = r.Pos()
+		lo, hi := shardBounds(len(dst), shards, s)
+		if err := skipStream(r, hi-lo); err != nil {
+			return err
+		}
+	}
+	errs := make([]error, shards)
+	par.For(shards, 1, func(plo, phi int) {
+		for s := plo; s < phi; s++ {
+			lo, hi := shardBounds(len(dst), shards, s)
+			errs[s] = decompressStreamSeq(r.At(offsets[s]), dst[lo:hi], b)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decompressStreamSeq is the sequential group-by-group decoder.
+func decompressStreamSeq(r *bitio.Reader, dst []float32, b Bound) error {
 	for len(dst) > 0 {
 		n := len(dst)
 		if n > GroupSize {
@@ -262,6 +362,32 @@ func DecompressStream(r *bitio.Reader, dst []float32, b Bound) error {
 			return err
 		}
 		dst = dst[n:]
+	}
+	return nil
+}
+
+// skipStream advances r past the encoding of count values without
+// decoding any lanes, by reading each group's tag vector and skipping its
+// data bits. Like DecompressGroup, a trailing partial group consumes only
+// the data of its first count lanes.
+func skipStream(r *bitio.Reader, count int) error {
+	for count > 0 {
+		n := count
+		if n > GroupSize {
+			n = GroupSize
+		}
+		tags, err := r.ReadBits(TagVectorBits)
+		if err != nil {
+			return fmt.Errorf("fpcodec: reading tag vector: %w", err)
+		}
+		bits := 0
+		for i := 0; i < n; i++ {
+			bits += Tag(tags >> uint(2*i) & 0b11).Bits()
+		}
+		if err := r.Skip(bits); err != nil {
+			return fmt.Errorf("fpcodec: skipping group data: %w", bitio.ErrShortRead)
+		}
+		count -= n
 	}
 	return nil
 }

@@ -24,6 +24,7 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -95,29 +96,49 @@ func (t Topology) leader(id int) bool {
 	return rank == 0
 }
 
-// ringAllReduce runs Algorithm 1 over an arbitrary member set (a group or
-// the set of group leaders), identified by their fabric ids in ring order.
-func ringAllReduce(e *comm.Endpoint, ids []int, myRank int, grad []float32, tos uint8, finalize func([]float32)) {
+// ringAllReduceCtx runs Algorithm 1 over an arbitrary member set (a group
+// or the set of group leaders), identified by their fabric ids in ring
+// order. Transport failures and context cancellation return errors.
+func ringAllReduceCtx(ctx context.Context, e comm.CtxPeer, ids []int, myRank int, grad []float32, tos uint8, finalize func([]float32)) error {
 	n := len(ids)
 	if n == 1 {
 		if finalize != nil {
 			finalize(grad)
 		}
-		return
+		return nil
 	}
 	right := ids[(myRank+1)%n]
 	left := ids[(myRank-1+n)%n]
 
+	step := func(sendBlk, recvBlk, tag int, reduce bool) error {
+		lo, hi := blockBounds(len(grad), n, sendBlk)
+		if err := e.SendCtx(ctx, right, grad[lo:hi], tos, tag); err != nil {
+			return fmt.Errorf("hierarchy: node %d send block %d to %d: %w", e.ID(), sendBlk, right, err)
+		}
+		rb, err := e.RecvCtx(ctx, left, tag)
+		if err != nil {
+			return fmt.Errorf("hierarchy: node %d recv block %d from %d: %w", e.ID(), recvBlk, left, err)
+		}
+		lo, hi = blockBounds(len(grad), n, recvBlk)
+		local := grad[lo:hi]
+		if len(rb) != len(local) {
+			return fmt.Errorf("hierarchy: node %d tag %d: block size %d, want %d", e.ID(), tag, len(rb), len(local))
+		}
+		if reduce {
+			for i, v := range rb {
+				local[i] += v
+			}
+		} else {
+			copy(local, rb)
+		}
+		return nil
+	}
+
 	for s := 1; s <= n-1; s++ {
 		sendBlk := ((myRank-s+1)%n + n) % n
 		recvBlk := ((myRank-s)%n + n) % n
-		lo, hi := blockBounds(len(grad), n, sendBlk)
-		e.Send(right, grad[lo:hi], tos, 8000+s)
-		rb := e.Recv(left, 8000+s)
-		lo, hi = blockBounds(len(grad), n, recvBlk)
-		local := grad[lo:hi]
-		for i, v := range rb {
-			local[i] += v
+		if err := step(sendBlk, recvBlk, 8000+s, true); err != nil {
+			return err
 		}
 	}
 	if finalize != nil {
@@ -127,12 +148,11 @@ func ringAllReduce(e *comm.Endpoint, ids []int, myRank int, grad []float32, tos 
 	for s := 0; s <= n-2; s++ {
 		sendBlk := ((myRank+1-s)%n + n) % n
 		recvBlk := ((myRank-s)%n + n) % n
-		lo, hi := blockBounds(len(grad), n, sendBlk)
-		e.Send(right, grad[lo:hi], tos, 9000+s)
-		rb := e.Recv(left, 9000+s)
-		lo, hi = blockBounds(len(grad), n, recvBlk)
-		copy(grad[lo:hi], rb)
+		if err := step(sendBlk, recvBlk, 9000+s, false); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func blockBounds(n, parts, b int) (lo, hi int) {
@@ -170,9 +190,20 @@ const (
 //
 // All t.Workers workers must call AllReduce concurrently; in tree mode
 // RunAggregator must run on node t.AggregatorID().
+//
+// AllReduce is the legacy panic-on-failure wrapper around AllReduceCtx.
 func AllReduce(t Topology, e *comm.Endpoint, grad []float32, tos uint8, finalize func([]float32)) {
-	if err := t.Validate(); err != nil {
+	if err := AllReduceCtx(context.Background(), t, comm.AsCtxPeer(e), grad, tos, finalize); err != nil {
 		panic(err)
+	}
+}
+
+// AllReduceCtx is the fault-tolerant form of AllReduce: transport
+// anomalies and context cancellation surface as errors instead of
+// panicking the worker goroutine.
+func AllReduceCtx(ctx context.Context, t Topology, e comm.CtxPeer, grad []float32, tos uint8, finalize func([]float32)) error {
+	if err := t.Validate(); err != nil {
+		return err
 	}
 	id := e.ID()
 	g, rank := t.group(id)
@@ -182,7 +213,9 @@ func AllReduce(t Topology, e *comm.Endpoint, grad []float32, tos uint8, finalize
 	}
 
 	// Level 1: intra-group ring (gradients, compressible).
-	ringAllReduce(e, groupIDs, rank, grad, tos, finalize)
+	if err := ringAllReduceCtx(ctx, e, groupIDs, rank, grad, tos, finalize); err != nil {
+		return err
+	}
 
 	// Level 2: inter-group exchange by the leaders.
 	if t.leader(id) {
@@ -192,38 +225,70 @@ func AllReduce(t Topology, e *comm.Endpoint, grad []float32, tos uint8, finalize
 			for i := range leaders {
 				leaders[i] = i * t.GroupSize
 			}
-			ringAllReduce(e, leaders, g, grad, tos, finalize)
+			if err := ringAllReduceCtx(ctx, e, leaders, g, grad, tos, finalize); err != nil {
+				return err
+			}
 		case ModeAggregatorTree:
-			e.Send(t.AggregatorID(), grad, tos, tagGradUp)
-			copy(grad, e.Recv(t.AggregatorID(), tagResultDown))
+			if err := e.SendCtx(ctx, t.AggregatorID(), grad, tos, tagGradUp); err != nil {
+				return fmt.Errorf("hierarchy: leader %d gradient up: %w", id, err)
+			}
+			rb, err := e.RecvCtx(ctx, t.AggregatorID(), tagResultDown)
+			if err != nil {
+				return fmt.Errorf("hierarchy: leader %d result down: %w", id, err)
+			}
+			copy(grad, rb)
 		}
 		// Level 3: broadcast the global result inside the group.
 		for _, member := range groupIDs[1:] {
-			e.Send(member, grad, 0, tagLeaderDown)
+			if err := e.SendCtx(ctx, member, grad, 0, tagLeaderDown); err != nil {
+				return fmt.Errorf("hierarchy: leader %d broadcast to %d: %w", id, member, err)
+			}
 		}
 	} else {
-		copy(grad, e.Recv(groupIDs[0], tagLeaderDown))
+		rb, err := e.RecvCtx(ctx, groupIDs[0], tagLeaderDown)
+		if err != nil {
+			return fmt.Errorf("hierarchy: member %d awaiting leader %d: %w", id, groupIDs[0], err)
+		}
+		copy(grad, rb)
 	}
+	return nil
 }
 
 // RunAggregator is the global aggregator loop body for one iteration of
 // ModeAggregatorTree: it sums the group leaders' vectors and sends the
-// result back.
+// result back. It is the legacy panic-on-failure wrapper around
+// RunAggregatorCtx.
 func RunAggregator(t Topology, e *comm.Endpoint, gradLen int) {
+	if err := RunAggregatorCtx(context.Background(), t, comm.AsCtxPeer(e), gradLen); err != nil {
+		panic(err)
+	}
+}
+
+// RunAggregatorCtx is the error-returning form of RunAggregator.
+func RunAggregatorCtx(ctx context.Context, t Topology, e comm.CtxPeer, gradLen int) error {
 	sum := make([]float32, gradLen)
 	leaders := make([]int, t.Groups())
 	for i := range leaders {
 		leaders[i] = i * t.GroupSize
 	}
 	for _, l := range leaders {
-		g := e.Recv(l, tagGradUp)
+		g, err := e.RecvCtx(ctx, l, tagGradUp)
+		if err != nil {
+			return fmt.Errorf("hierarchy: aggregator gather from %d: %w", l, err)
+		}
+		if len(g) != gradLen {
+			return fmt.Errorf("hierarchy: aggregator got %d floats from %d, want %d", len(g), l, gradLen)
+		}
 		for i, v := range g {
 			sum[i] += v
 		}
 	}
 	for _, l := range leaders {
-		e.Send(l, sum, 0, tagResultDown)
+		if err := e.SendCtx(ctx, l, sum, 0, tagResultDown); err != nil {
+			return fmt.Errorf("hierarchy: aggregator result to %d: %w", l, err)
+		}
 	}
+	return nil
 }
 
 // RunAllReduce is a convenience harness: it spins up the full topology on

@@ -3,6 +3,7 @@ package nn
 import (
 	"math/rand"
 
+	"inceptionn/internal/par"
 	"inceptionn/internal/tensor"
 )
 
@@ -30,65 +31,92 @@ func NewConv2D(name string, inC, outC, k, stride, pad int, rng *rand.Rand) *Conv
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Batch elements are processed in parallel
+// shards (each writes a disjoint slice of the output), so results are
+// bit-identical for any worker count.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	batch, h, w := x.Shape[0], x.Shape[2], x.Shape[3]
 	c.outH = tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
 	c.x = x
-	if len(c.cols) != batch {
-		c.cols = make([]*tensor.Tensor, batch)
+	// Grow the per-sample im2col cache without discarding survivors: the
+	// old `len != batch` reset meant one trailing partial batch forced a
+	// full reallocation on every subsequent full-size step. Entries keep
+	// their matrices across shrink-then-grow batch sequences; stale
+	// geometry is caught per entry below.
+	for len(c.cols) < batch {
+		c.cols = append(c.cols, nil)
 	}
 	out := tensor.New(batch, c.OutC, c.outH, c.outW)
+	rows := c.InC * c.K * c.K
 	spatial := c.outH * c.outW
-	for bi := 0; bi < batch; bi++ {
-		img := tensor.FromSlice(
-			x.Data[bi*c.InC*h*w:(bi+1)*c.InC*h*w], c.InC, h, w)
-		if c.cols[bi] == nil || c.cols[bi].Shape[1] != spatial {
-			c.cols[bi] = tensor.New(c.InC*c.K*c.K, spatial)
-		}
-		tensor.Im2Col(c.cols[bi], img, c.K, c.K, c.Stride, c.Pad)
-		res := tensor.FromSlice(
-			out.Data[bi*c.OutC*spatial:(bi+1)*c.OutC*spatial], c.OutC, spatial)
-		tensor.MatMul(res, c.w.W, c.cols[bi])
-		for oc := 0; oc < c.OutC; oc++ {
-			bias := c.b.W.Data[oc]
-			row := res.Data[oc*spatial : (oc+1)*spatial]
-			for i := range row {
-				row[i] += bias
+	par.For(batch, 1, func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			img := tensor.FromSlice(
+				x.Data[bi*c.InC*h*w:(bi+1)*c.InC*h*w], c.InC, h, w)
+			if col := c.cols[bi]; col == nil || col.Shape[0] != rows || col.Shape[1] != spatial {
+				c.cols[bi] = tensor.New(rows, spatial)
+			}
+			tensor.Im2Col(c.cols[bi], img, c.K, c.K, c.Stride, c.Pad)
+			res := tensor.FromSlice(
+				out.Data[bi*c.OutC*spatial:(bi+1)*c.OutC*spatial], c.OutC, spatial)
+			tensor.MatMul(res, c.w.W, c.cols[bi])
+			for oc := 0; oc < c.OutC; oc++ {
+				bias := c.b.W.Data[oc]
+				row := res.Data[oc*spatial : (oc+1)*spatial]
+				for i := range row {
+					row[i] += bias
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
-// Backward implements Layer.
+// Backward implements Layer. Per-sample work runs in parallel into
+// private buffers; the weight/bias gradient contributions are then
+// reduced into the shared accumulators in ascending sample order, so the
+// result is bit-identical to the sequential loop for any worker count.
 func (c *Conv2D) Backward(dout *tensor.Tensor) *tensor.Tensor {
 	batch, h, w := c.x.Shape[0], c.x.Shape[2], c.x.Shape[3]
+	rows := c.InC * c.K * c.K
 	spatial := c.outH * c.outW
 	dx := tensor.New(batch, c.InC, h, w)
-	gw := tensor.New(c.OutC, c.InC*c.K*c.K)
-	dcols := tensor.New(c.InC*c.K*c.K, spatial)
-	dimg := tensor.New(c.InC, h, w)
-	for bi := 0; bi < batch; bi++ {
-		dres := tensor.FromSlice(
-			dout.Data[bi*c.OutC*spatial:(bi+1)*c.OutC*spatial], c.OutC, spatial)
-		// dW += dres · colsᵀ
-		tensor.MatMulTransB(gw, dres, c.cols[bi])
-		c.w.G.AddInPlace(gw)
-		// db += row sums of dres
-		for oc := 0; oc < c.OutC; oc++ {
-			var s float32
-			row := dres.Data[oc*spatial : (oc+1)*spatial]
-			for _, v := range row {
-				s += v
+	gws := make([]*tensor.Tensor, batch)
+	dbs := make([][]float32, batch)
+	par.For(batch, 1, func(lo, hi int) {
+		// Scratch shared across this shard's samples only.
+		dcols := tensor.New(rows, spatial)
+		dimg := tensor.New(c.InC, h, w)
+		for bi := lo; bi < hi; bi++ {
+			dres := tensor.FromSlice(
+				dout.Data[bi*c.OutC*spatial:(bi+1)*c.OutC*spatial], c.OutC, spatial)
+			// dW contribution: dres · colsᵀ
+			gw := tensor.New(c.OutC, rows)
+			tensor.MatMulTransB(gw, dres, c.cols[bi])
+			gws[bi] = gw
+			// db contribution: row sums of dres
+			db := make([]float32, c.OutC)
+			for oc := 0; oc < c.OutC; oc++ {
+				var s float32
+				row := dres.Data[oc*spatial : (oc+1)*spatial]
+				for _, v := range row {
+					s += v
+				}
+				db[oc] = s
 			}
+			dbs[bi] = db
+			// dcols = Wᵀ · dres, then scatter back to image space.
+			tensor.MatMulTransA(dcols, c.w.W, dres)
+			tensor.Col2Im(dimg, dcols, c.K, c.K, c.Stride, c.Pad)
+			copy(dx.Data[bi*c.InC*h*w:(bi+1)*c.InC*h*w], dimg.Data)
+		}
+	})
+	for bi := 0; bi < batch; bi++ {
+		c.w.G.AddInPlace(gws[bi])
+		for oc, s := range dbs[bi] {
 			c.b.G.Data[oc] += s
 		}
-		// dcols = Wᵀ · dres, then scatter back to image space.
-		tensor.MatMulTransA(dcols, c.w.W, dres)
-		tensor.Col2Im(dimg, dcols, c.K, c.K, c.Stride, c.Pad)
-		copy(dx.Data[bi*c.InC*h*w:(bi+1)*c.InC*h*w], dimg.Data)
 	}
 	return dx
 }

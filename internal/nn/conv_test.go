@@ -1,0 +1,102 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"inceptionn/internal/par"
+	"inceptionn/internal/tensor"
+)
+
+// randInput returns a [batch, inC, h, w] tensor of N(0,1) values.
+func randInput(rng *rand.Rand, batch, inC, h, w int) *tensor.Tensor {
+	x := tensor.New(batch, inC, h, w)
+	x.FillRandn(rng, 1)
+	return x
+}
+
+// TestConvColsCacheSurvivesBatchResize is the regression test for the
+// cache-thrash bug: the old guard (`len(c.cols) != batch`) discarded the
+// entire im2col cache whenever the batch size changed, so a trailing
+// partial batch reallocated every matrix on each subsequent step. The
+// cache must survive a shrink-then-grow sequence and keep producing
+// correct outputs.
+func TestConvColsCacheSurvivesBatchResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2D("c", 3, 4, 3, 1, 1, rng)
+
+	// Reference layer with identical weights, fed fresh each time.
+	ref := NewConv2D("ref", 3, 4, 3, 1, 1, rand.New(rand.NewSource(99)))
+	copy(ref.w.W.Data, c.w.W.Data)
+	copy(ref.b.W.Data, c.b.W.Data)
+
+	check := func(x *tensor.Tensor) {
+		t.Helper()
+		got := c.Forward(x, true)
+		want := ref.Forward(x, true)
+		for i := range got.Data {
+			if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+				t.Fatalf("batch %d idx %d: %g vs %g", x.Shape[0], i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+
+	check(randInput(rng, 4, 3, 8, 8)) // warm the cache at batch 4
+	ptrs := make([]*tensor.Tensor, 4)
+	copy(ptrs, c.cols[:4])
+
+	check(randInput(rng, 2, 3, 8, 8)) // trailing partial batch (shrink)
+	check(randInput(rng, 4, 3, 8, 8)) // back to full batch (grow)
+
+	for i, p := range ptrs {
+		if c.cols[i] != p {
+			t.Fatalf("cols[%d] reallocated across shrink-then-grow", i)
+		}
+	}
+
+	// Geometry change must invalidate per entry (both dims checked), and
+	// the output must still be correct.
+	check(randInput(rng, 4, 3, 6, 6))
+	if c.cols[0].Shape[1] != 6*6 {
+		t.Fatalf("stale cols geometry: %v", c.cols[0].Shape)
+	}
+	// And growing past any previously seen batch size still works.
+	check(randInput(rng, 6, 3, 6, 6))
+}
+
+// TestConvForwardBackwardParallelBitIdentical pins the determinism
+// contract of the batch-parallel convolution: outputs, input gradients,
+// and accumulated weight/bias gradients are bit-for-bit identical for any
+// worker count.
+func TestConvForwardBackwardParallelBitIdentical(t *testing.T) {
+	run := func(workers int) (out, dx, gw, gb []float32) {
+		prev := par.SetMaxWorkers(workers)
+		defer par.SetMaxWorkers(prev)
+		rng := rand.New(rand.NewSource(5))
+		c := NewConv2D("c", 3, 8, 3, 1, 1, rng)
+		x := randInput(rng, 5, 3, 10, 10)
+		y := c.Forward(x, true)
+		dout := tensor.New(y.Shape...)
+		dout.FillRandn(rng, 1)
+		dxT := c.Backward(dout)
+		return y.Data, dxT.Data, c.w.G.Data, c.b.G.Data
+	}
+	wantOut, wantDx, wantGw, wantGb := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		out, dx, gw, gb := run(workers)
+		for name, pair := range map[string][2][]float32{
+			"out": {out, wantOut}, "dx": {dx, wantDx}, "gw": {gw, wantGw}, "gb": {gb, wantGb},
+		} {
+			got, want := pair[0], pair[1]
+			if len(got) != len(want) {
+				t.Fatalf("workers=%d %s length %d vs %d", workers, name, len(got), len(want))
+			}
+			for i := range got {
+				if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+					t.Fatalf("workers=%d %s idx %d: %g vs %g", workers, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

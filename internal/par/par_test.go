@@ -1,0 +1,126 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withWorkers runs f with the shard cap pinned to n.
+func withWorkers(t *testing.T, n int, f func()) {
+	t.Helper()
+	prev := SetMaxWorkers(n)
+	defer SetMaxWorkers(prev)
+	f()
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 7, 64, 1001} {
+			for _, grain := range []int{1, 3, 100} {
+				withWorkers(t, workers, func() {
+					hits := make([]int32, n)
+					For(n, grain, func(lo, hi int) {
+						if lo < 0 || hi > n || lo >= hi {
+							t.Errorf("bad shard [%d,%d) for n=%d", lo, hi, n)
+							return
+						}
+						for i := lo; i < hi; i++ {
+							atomic.AddInt32(&hits[i], 1)
+						}
+					})
+					for i, h := range hits {
+						if h != 1 {
+							t.Fatalf("workers=%d n=%d grain=%d: index %d hit %d times",
+								workers, n, grain, i, h)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestForShardingIsDeterministic(t *testing.T) {
+	withWorkers(t, 4, func() {
+		shardSet := func() map[[2]int]bool {
+			out := make(map[[2]int]bool)
+			var mu sync.Mutex
+			For(1000, 1, func(lo, hi int) {
+				mu.Lock()
+				out[[2]int{lo, hi}] = true
+				mu.Unlock()
+			})
+			return out
+		}
+		a, b := shardSet(), shardSet()
+		if len(a) != len(b) {
+			t.Fatalf("shard counts differ: %d vs %d", len(a), len(b))
+		}
+		for s := range a {
+			if !b[s] {
+				t.Fatalf("shard %v only in first run", s)
+			}
+		}
+	})
+}
+
+func TestForGrainLimitsShardCount(t *testing.T) {
+	withWorkers(t, 16, func() {
+		var shards atomic.Int32
+		For(10, 4, func(lo, hi int) {
+			shards.Add(1)
+			if hi-lo < 3 || hi-lo > 4 {
+				t.Errorf("unbalanced shard [%d,%d)", lo, hi)
+			}
+		})
+		// ceil(10/4) = 3 shards at most; grain bounds the fan-out.
+		if got := shards.Load(); got > 3 {
+			t.Fatalf("%d shards for n=10 grain=4", got)
+		}
+	})
+}
+
+// TestNestedForNoDeadlock exercises the pathological case for fixed
+// pools: every outer shard spawns inner parallel work. The helping
+// waiter must keep the pool live; a regression here hangs the test.
+func TestNestedForNoDeadlock(t *testing.T) {
+	withWorkers(t, 8, func() {
+		var total atomic.Int64
+		For(16, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				For(256, 1, func(ilo, ihi int) {
+					For(32, 1, func(jlo, jhi int) {
+						total.Add(int64((ihi - ilo) * (jhi - jlo)))
+					})
+				})
+			}
+		})
+		if got := total.Load(); got != 16*256*32 {
+			t.Fatalf("nested total = %d, want %d", got, 16*256*32)
+		}
+	})
+}
+
+func TestSetMaxWorkersRestores(t *testing.T) {
+	prev := SetMaxWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetMaxWorkers(3)", Workers())
+	}
+	SetMaxWorkers(prev)
+	if prev == 0 && maxWorkers.Load() != 0 {
+		t.Fatal("override not cleared")
+	}
+}
+
+func TestGrainFor(t *testing.T) {
+	if g := GrainFor(0); g != MinOps {
+		t.Fatalf("GrainFor(0) = %d", g)
+	}
+	if g := GrainFor(MinOps * 2); g != 1 {
+		t.Fatalf("GrainFor(huge) = %d", g)
+	}
+	if g := GrainFor(MinOps / 8); g != 8 {
+		t.Fatalf("GrainFor(MinOps/8) = %d", g)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"inceptionn/internal/comm"
+	"inceptionn/internal/fpcodec"
 )
 
 // Block boundaries: block b of a length-n vector split N ways.
@@ -58,6 +59,56 @@ type Options struct {
 	// exceeds it returns a timeout error identifying the stalled link,
 	// turning a permanent partition into an error instead of a hang.
 	StepTimeout time.Duration
+
+	// ChunkSize, when positive, splits each ring block into chunks of at
+	// most ChunkSize float32 values and pipelines them within a step: a
+	// sender goroutine streams chunks rightward while the main loop
+	// receives and reduces chunks from the left, so chunk k's codec and
+	// reduction overlap chunk k+1's transport — the software analogue of
+	// the paper's streaming NIC datapath. The value is rounded up to a
+	// multiple of fpcodec.GroupSize so every chunk is burst-group aligned.
+	// All nodes of a ring must use the same ChunkSize (it determines the
+	// per-step message framing). 0 keeps whole-block steps.
+	ChunkSize int
+}
+
+// chunkSize returns the effective group-aligned chunk size, or 0 when
+// chunking is disabled.
+func (o Options) chunkSize() int {
+	c := o.ChunkSize
+	if c <= 0 {
+		return 0
+	}
+	if rem := c % fpcodec.GroupSize; rem != 0 {
+		c += fpcodec.GroupSize - rem
+	}
+	return c
+}
+
+// numChunks returns how many chunks a block of blockLen values splits
+// into. A zero-length block carries zero chunks (no messages at all),
+// which both sides of a link compute identically.
+func numChunks(blockLen, chunk int) int {
+	if chunk <= 0 || blockLen <= chunk {
+		if blockLen == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (blockLen + chunk - 1) / chunk
+}
+
+// chunkBounds returns the c-th chunk of a block of blockLen values.
+func chunkBounds(blockLen, chunk, c int) (lo, hi int) {
+	if chunk <= 0 {
+		return 0, blockLen
+	}
+	lo = c * chunk
+	hi = lo + chunk
+	if hi > blockLen {
+		hi = blockLen
+	}
+	return lo, hi
 }
 
 // AllReduce performs the in-place gradient exchange of Algorithm 1 on node
@@ -97,34 +148,91 @@ func AllReduceCtx(ctx context.Context, e comm.CtxPeer, grad []float32, tos uint8
 	right := (id + 1) % n
 	left := (id - 1 + n) % n
 
+	chunk := opt.chunkSize()
+
 	step := func(ctx context.Context, sendBlk, recvBlk, tag int, reduce bool) error {
-		stepCtx := ctx
+		stepCtx, cancel := ctx, context.CancelFunc(nil)
 		if opt.StepTimeout > 0 {
-			var cancel context.CancelFunc
 			stepCtx, cancel = context.WithTimeout(ctx, opt.StepTimeout)
+		} else if chunk > 0 {
+			// Chunked steps always need a private cancel so a receive
+			// failure unblocks the in-flight sender goroutine.
+			stepCtx, cancel = context.WithCancel(ctx)
+		}
+		if cancel != nil {
 			defer cancel()
 		}
-		lo, hi := blockBounds(len(grad), n, sendBlk)
-		if err := e.SendCtx(stepCtx, right, grad[lo:hi], tos, tag); err != nil {
-			return fmt.Errorf("ring: node %d send block %d to %d: %w", id, sendBlk, right, err)
-		}
-		rb, err := e.RecvCtx(stepCtx, left, tag)
-		if err != nil {
-			return fmt.Errorf("ring: node %d recv block %d from %d: %w", id, recvBlk, left, err)
-		}
-		lo, hi = blockBounds(len(grad), n, recvBlk)
-		if len(rb) != hi-lo {
-			return fmt.Errorf("ring: node %d tag %d: block size %d, want %d", id, tag, len(rb), hi-lo)
-		}
-		local := grad[lo:hi]
-		if reduce {
-			for i, v := range rb {
-				local[i] += v
+
+		slo, shi := blockBounds(len(grad), n, sendBlk)
+		rlo, rhi := blockBounds(len(grad), n, recvBlk)
+		sendBuf, recvBuf := grad[slo:shi], grad[rlo:rhi]
+
+		if chunk <= 0 {
+			// Whole-block step.
+			if err := e.SendCtx(stepCtx, right, sendBuf, tos, tag); err != nil {
+				return fmt.Errorf("ring: node %d send block %d to %d: %w", id, sendBlk, right, err)
 			}
-		} else {
-			copy(local, rb)
+			rb, err := e.RecvCtx(stepCtx, left, tag)
+			if err != nil {
+				return fmt.Errorf("ring: node %d recv block %d from %d: %w", id, recvBlk, left, err)
+			}
+			if len(rb) != len(recvBuf) {
+				return fmt.Errorf("ring: node %d tag %d: block size %d, want %d", id, tag, len(rb), len(recvBuf))
+			}
+			if reduce {
+				for i, v := range rb {
+					recvBuf[i] += v
+				}
+			} else {
+				copy(recvBuf, rb)
+			}
+			return nil
 		}
-		return nil
+
+		// Pipelined step. The send and receive blocks of any Algorithm 1
+		// step are disjoint, so the sender goroutine reads sendBuf while
+		// the receive loop writes recvBuf without synchronisation. All
+		// chunks of a step share one tag; links deliver same-tag messages
+		// in order.
+		sendErr := make(chan error, 1)
+		go func() {
+			nc := numChunks(len(sendBuf), chunk)
+			for c := 0; c < nc; c++ {
+				clo, chi := chunkBounds(len(sendBuf), chunk, c)
+				if err := e.SendCtx(stepCtx, right, sendBuf[clo:chi], tos, tag); err != nil {
+					sendErr <- fmt.Errorf("ring: node %d send block %d chunk %d to %d: %w", id, sendBlk, c, right, err)
+					return
+				}
+			}
+			sendErr <- nil
+		}()
+
+		nc := numChunks(len(recvBuf), chunk)
+		for c := 0; c < nc; c++ {
+			rb, err := e.RecvCtx(stepCtx, left, tag)
+			if err != nil {
+				if cancel != nil {
+					cancel() // unblock the sender before returning
+				}
+				return fmt.Errorf("ring: node %d recv block %d chunk %d from %d: %w", id, recvBlk, c, left, err)
+			}
+			clo, chi := chunkBounds(len(recvBuf), chunk, c)
+			local := recvBuf[clo:chi]
+			if len(rb) != len(local) {
+				if cancel != nil {
+					cancel()
+				}
+				return fmt.Errorf("ring: node %d tag %d chunk %d: size %d, want %d", id, tag, c, len(rb), len(local))
+			}
+			if reduce {
+				for i, v := range rb {
+					local[i] += v
+				}
+			} else {
+				copy(local, rb)
+			}
+		}
+		return <-sendErr
 	}
 
 	// P1: aggregation of gradients (reduce-scatter).

@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
@@ -319,5 +320,87 @@ func TestWorkerAggregatorCompressedGradLegOnly(t *testing.T) {
 	}
 	if down != 4*gradLen {
 		t.Errorf("weight leg must be uncompressed: %d bytes", down)
+	}
+}
+
+// runAllReduceCtx executes AllReduceCtx concurrently on n nodes with the
+// given options and returns each node's resulting vector; any node error
+// fails the test.
+func runAllReduceCtx(t *testing.T, proc comm.WireProcessor, inputs [][]float32, tos uint8, opt Options) [][]float32 {
+	t.Helper()
+	n := len(inputs)
+	f := comm.NewFabric(n, proc)
+	out := make([][]float32, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := append([]float32(nil), inputs[i]...)
+			errs[i] = AllReduceCtx(context.Background(), comm.AsCtxPeer(f.Endpoint(i)), g, tos, finalizeFor(proc, tos), opt)
+			out[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+	}
+	return out
+}
+
+// TestAllReduceChunkedBitIdentical pins the pipelining contract: for any
+// ChunkSize (including sizes that do not divide the block, exceed the
+// block, or are not group multiples) the chunked exchange produces
+// bit-identical results to the unchunked one, with and without the lossy
+// codec on the wire.
+func TestAllReduceChunkedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, vec = 4, 10*1024 + 7
+	inputs := make([][]float32, n)
+	for i := range inputs {
+		inputs[i] = make([]float32, vec)
+		for j := range inputs[i] {
+			inputs[i][j] = float32(rng.NormFloat64() * 0.01)
+		}
+	}
+	procs := map[string]comm.WireProcessor{
+		"raw":   nil,
+		"codec": comm.CodecProcessor{Bound: fpcodec.MustBound(10)},
+	}
+	for name, proc := range procs {
+		tos := uint8(0)
+		if proc != nil {
+			tos = comm.ToSCompress
+		}
+		want := runAllReduceCtx(t, proc, inputs, tos, Options{})
+		for _, chunkSize := range []int{1, 64, 1000, 3000, vec * 2} {
+			got := runAllReduceCtx(t, proc, inputs, tos, Options{ChunkSize: chunkSize})
+			for i := range got {
+				for j := range got[i] {
+					if math.Float32bits(got[i][j]) != math.Float32bits(want[i][j]) {
+						t.Fatalf("%s chunk=%d node %d idx %d: %g vs %g",
+							name, chunkSize, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllReduceChunkedShortVector covers blocks that are empty or smaller
+// than one chunk (more nodes than gradient values).
+func TestAllReduceChunkedShortVector(t *testing.T) {
+	inputs := [][]float32{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	want := []float32{16, 20}
+	out := runAllReduceCtx(t, nil, inputs, 0, Options{ChunkSize: 8})
+	for i := range out {
+		for j, v := range out[i] {
+			if v != want[j] {
+				t.Fatalf("node %d: got %v, want %v", i, out[i], want)
+			}
+		}
 	}
 }

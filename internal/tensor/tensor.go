@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"inceptionn/internal/par"
 )
 
 // Tensor is a dense row-major float32 array with a shape.
@@ -169,7 +171,14 @@ func (t *Tensor) MaxAbs() float32 {
 
 // MatMul computes dst = a·b for 2-D tensors a (m×k) and b (k×n).
 // dst must be m×n and distinct from a and b. The k-inner loop runs over b's
-// rows (ikj order) for cache-friendly access.
+// rows (ikj order) for cache-friendly access. Output rows are computed in
+// parallel shards (internal/par); every element accumulates over k in
+// ascending order regardless of the worker count, so results are
+// bit-identical to a sequential run.
+//
+// Zero elements of a are NOT short-circuited: IEEE 754 requires
+// 0×NaN = NaN and 0×Inf = NaN, so a skipped multiply would launder a
+// diverging replica's non-finite gradients into finite outputs.
 func MatMul(dst, a, b *Tensor) {
 	m, ka := a.Shape[0], a.Shape[1]
 	kb, n := b.Shape[0], b.Shape[1]
@@ -180,26 +189,28 @@ func MatMul(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMul dst %v, want [%d %d]", dst.Shape, m, n))
 	}
 	ad, bd, dd := a.Data, b.Data, dst.Data
-	for i := 0; i < m; i++ {
-		drow := dd[i*n : (i+1)*n]
-		for x := range drow {
-			drow[x] = 0
-		}
-		arow := ad[i*ka : (i+1)*ka]
-		for k := 0; k < ka; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
+	par.For(m, par.GrainFor(2*ka*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			drow := dd[i*n : (i+1)*n]
+			for x := range drow {
+				drow[x] = 0
 			}
-			brow := bd[k*n : (k+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			arow := ad[i*ka : (i+1)*ka]
+			for k := 0; k < ka; k++ {
+				av := arow[k]
+				brow := bd[k*n : (k+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulTransA computes dst = aᵀ·b for a (k×m) and b (k×n); dst is m×n.
+// Like MatMul it shards over output rows, accumulates over k in ascending
+// order (bit-identical for any worker count), and never short-circuits
+// zeros (0×NaN must stay NaN).
 func MatMulTransA(dst, a, b *Tensor) {
 	k, m := a.Shape[0], a.Shape[1]
 	kb, n := b.Shape[0], b.Shape[1]
@@ -209,24 +220,27 @@ func MatMulTransA(dst, a, b *Tensor) {
 	if dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTransA dst %v, want [%d %d]", dst.Shape, m, n))
 	}
-	dst.Zero()
 	ad, bd, dd := a.Data, b.Data, dst.Data
-	for p := 0; p < k; p++ {
-		arow := ad[p*m : (p+1)*m]
-		brow := bd[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
+	par.For(m, par.GrainFor(2*k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			drow := dd[i*n : (i+1)*n]
-			for j, bv := range brow {
-				drow[j] += av * bv
+			for x := range drow {
+				drow[x] = 0
+			}
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
 			}
 		}
-	}
+	})
 }
 
 // MatMulTransB computes dst = a·bᵀ for a (m×k) and b (n×k); dst is m×n.
+// Output rows are sharded in parallel; the p-accumulation order is fixed,
+// so results are bit-identical for any worker count.
 func MatMulTransB(dst, a, b *Tensor) {
 	m, k := a.Shape[0], a.Shape[1]
 	n, kb := b.Shape[0], b.Shape[1]
@@ -237,17 +251,19 @@ func MatMulTransB(dst, a, b *Tensor) {
 		panic(fmt.Sprintf("tensor: MatMulTransB dst %v, want [%d %d]", dst.Shape, m, n))
 	}
 	ad, bd, dd := a.Data, b.Data, dst.Data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		for j := 0; j < n; j++ {
-			brow := bd[j*k : (j+1)*k]
-			var s float32
-			for p, av := range arow {
-				s += av * brow[p]
+	par.For(m, par.GrainFor(2*k*n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			for j := 0; j < n; j++ {
+				brow := bd[j*k : (j+1)*k]
+				var s float32
+				for p, av := range arow {
+					s += av * brow[p]
+				}
+				dd[i*n+j] = s
 			}
-			dd[i*n+j] = s
 		}
-	}
+	})
 }
 
 // Im2Col lowers a CHW image into a matrix of shape

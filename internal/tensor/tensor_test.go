@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"inceptionn/internal/par"
 )
 
 func TestNewAndShape(t *testing.T) {
@@ -314,5 +316,95 @@ func BenchmarkIm2Col(b *testing.B) {
 	dst := New(16*9, 32*32)
 	for i := 0; i < b.N; i++ {
 		Im2Col(dst, img, 3, 3, 1, 1)
+	}
+}
+
+// TestMatMulPropagatesNaNInf guards the IEEE-semantics bugfix: the old
+// kernels short-circuited zero elements of a, so 0×NaN and 0×Inf — the
+// signature of a diverging replica's gradients — were silently laundered
+// into finite outputs instead of poisoning them.
+func TestMatMulPropagatesNaNInf(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	for _, poison := range []float32{nan, inf} {
+		// a's row is all zeros; b carries the poison. Every product with
+		// the poisoned b row is 0×poison, which must be NaN.
+		a := FromSlice([]float32{0, 0}, 1, 2)
+		b := FromSlice([]float32{poison, 1, 2, 3}, 2, 2)
+		got := New(1, 2)
+		MatMul(got, a, b)
+		if !math.IsNaN(float64(got.Data[0])) {
+			t.Errorf("MatMul: 0×%g column gave %g, want NaN", poison, got.Data[0])
+		}
+
+		// aᵀ·b with a zero column in a and poison in b.
+		at := FromSlice([]float32{0, 0}, 2, 1) // k=2, m=1
+		bt := FromSlice([]float32{poison, 1, 2, 3}, 2, 2)
+		gotA := New(1, 2)
+		MatMulTransA(gotA, at, bt)
+		if !math.IsNaN(float64(gotA.Data[0])) {
+			t.Errorf("MatMulTransA: 0×%g gave %g, want NaN", poison, gotA.Data[0])
+		}
+
+		// a·bᵀ with zero a row and poisoned b row.
+		ab := FromSlice([]float32{0, 0}, 1, 2)
+		bb := FromSlice([]float32{poison, 4}, 1, 2)
+		gotB := New(1, 1)
+		MatMulTransB(gotB, ab, bb)
+		if !math.IsNaN(float64(gotB.Data[0])) {
+			t.Errorf("MatMulTransB: 0×%g gave %g, want NaN", poison, gotB.Data[0])
+		}
+	}
+
+	// NaN in a itself must survive multiplication by zero in b.
+	a := FromSlice([]float32{nan}, 1, 1)
+	b := FromSlice([]float32{0}, 1, 1)
+	got := New(1, 1)
+	MatMul(got, a, b)
+	if !math.IsNaN(float64(got.Data[0])) {
+		t.Errorf("MatMul: NaN×0 gave %g, want NaN", got.Data[0])
+	}
+}
+
+// TestMatMulParallelBitIdentical pins the determinism contract of the
+// parallel kernels: any worker count yields bit-for-bit the sequential
+// result, because shards own disjoint output rows and each element's
+// k-accumulation order is fixed.
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, k, n := 37, 29, 41
+	a, b := New(m, k), New(k, n)
+	a.FillRandn(rng, 1)
+	b.FillRandn(rng, 1)
+	at := New(k, m)
+	at.FillRandn(rng, 1)
+	bt := New(n, k)
+	bt.FillRandn(rng, 1)
+
+	type kernel struct {
+		name string
+		run  func(dst *Tensor)
+	}
+	kernels := []kernel{
+		{"MatMul", func(dst *Tensor) { MatMul(dst, a, b) }},
+		{"MatMulTransA", func(dst *Tensor) { MatMulTransA(dst, at, b) }},
+		{"MatMulTransB", func(dst *Tensor) { MatMulTransB(dst, a, bt) }},
+	}
+	for _, kn := range kernels {
+		prev := par.SetMaxWorkers(1)
+		want := New(m, n)
+		kn.run(want)
+		for _, workers := range []int{2, 5, 8} {
+			par.SetMaxWorkers(workers)
+			got := New(m, n)
+			kn.run(got)
+			for i := range got.Data {
+				if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+					t.Fatalf("%s workers=%d idx %d: %x vs %x",
+						kn.name, workers, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+		par.SetMaxWorkers(prev)
 	}
 }

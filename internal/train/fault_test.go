@@ -1,0 +1,79 @@
+package train
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inceptionn/internal/models"
+)
+
+// TestRingStallSurfacesAsError is the regression test for the
+// silent-crash bug: a stalled worker used to panic the whole process from
+// inside a goroutine (unrecoverable). With the Ctx exchange path, the
+// neighbour's step deadline expires, siblings are cancelled, and Run
+// returns the causal error.
+func TestRingStallSurfacesAsError(t *testing.T) {
+	trainDS, testDS := digitsData()
+	o := digitsOptions()
+	o.Workers = 3
+	o.StepTimeout = 500 * time.Millisecond
+
+	var calls atomic.Int64
+	o.LocalGradTransform = func([]float32) {
+		// Every worker shares this hook; exactly one call — one worker at
+		// one iteration — stalls for far longer than the step deadline,
+		// simulating a wedged node.
+		if calls.Add(1) == 5 {
+			time.Sleep(3 * time.Second)
+		}
+	}
+
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = Run(models.NewHDCSmall, trainDS, testDS, 50, o)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung instead of failing fast")
+	}
+	if err == nil {
+		t.Fatalf("stalled worker did not surface an error (res=%+v)", res)
+	}
+	t.Logf("got expected error: %v", err)
+}
+
+// TestRingChunkedTrainingBitIdentical runs the same ring training with and
+// without the pipelined chunked exchange and requires bit-identical final
+// weights — chunking must be purely a scheduling change.
+func TestRingChunkedTrainingBitIdentical(t *testing.T) {
+	trainDS, testDS := digitsData()
+
+	run := func(chunk int) []float32 {
+		o := digitsOptions()
+		o.ChunkSize = chunk
+		res, err := Run(models.NewHDCSmall, trainDS, testDS, 25, o)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		return res.FinalWeights
+	}
+
+	want := run(0)
+	for _, chunk := range []int{100, 4096} {
+		got := run(chunk)
+		if len(got) != len(want) {
+			t.Fatalf("chunk=%d: %d weights, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("chunk=%d: weight %d diverged: %g vs %g", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -97,7 +97,7 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 					o.GradHook(iter, w.grad)
 				}
 				if err := ring.AllReduceCtx(ctx, node, w.grad, o.gradTos(), finalize,
-					ring.Options{StepTimeout: o.StepTimeout}); err != nil {
+					o.ringOptions()); err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel() // unblock the other workers' ring steps
 					return
@@ -118,15 +118,7 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	wg.Wait()
 	// Report the causal failure: the worker that hit the real fault, not
 	// one that merely observed the cancellation it triggered.
-	var firstErr error
-	for id := 0; id < o.Workers; id++ {
-		if errs[id] == nil {
-			continue
-		}
-		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(errs[id], context.Canceled)) {
-			firstErr = errs[id]
-		}
-	}
+	firstErr := firstError(errs)
 	fabricMu.Lock()
 	if fabricErr != nil && (firstErr == nil || errors.Is(firstErr, context.Canceled)) {
 		// The fabric anomaly is the root cause; worker errors are just the

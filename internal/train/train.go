@@ -6,6 +6,8 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -87,11 +89,17 @@ type Options struct {
 	// algorithms (Fig. 1b/c); Workers must be a multiple of it.
 	GroupSize int
 
-	// StepTimeout bounds every individual ring send/recv step of RunRingTCP:
-	// a link stalled longer than this fails the run with a timeout error
-	// naming the slow hop, instead of hanging the whole training job.
-	// 0 disables the per-step deadline.
+	// StepTimeout bounds every individual ring send/recv step (both the
+	// in-process fabric runners and RunRingTCP): a link stalled longer
+	// than this fails the run with a timeout error naming the slow hop,
+	// instead of hanging the whole training job. 0 disables the per-step
+	// deadline.
 	StepTimeout time.Duration
+	// ChunkSize pipelines the ring exchange: each ring block is split
+	// into chunks of at most this many float32 values, so one chunk's
+	// codec and reduction overlap the next chunk's transport (see
+	// ring.Options.ChunkSize). 0 keeps whole-block steps.
+	ChunkSize int
 	// Chaos, if non-nil, injects deterministic transport faults (drops,
 	// corruption, duplication, delay, partitions, crashes — see
 	// internal/fault) into RunRingTCP's wire traffic. The fabric's
@@ -157,6 +165,27 @@ func Run(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Res
 	default:
 		return Result{}, fmt.Errorf("train: unknown algorithm %d", o.Algo)
 	}
+}
+
+// ringOptions returns the ring exchange tuning derived from o.
+func (o Options) ringOptions() ring.Options {
+	return ring.Options{StepTimeout: o.StepTimeout, ChunkSize: o.ChunkSize}
+}
+
+// firstError picks the causal failure out of a per-worker error array: the
+// worker that hit the real fault, not one that merely observed the
+// cancellation it triggered.
+func firstError(errs []error) error {
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil || (errors.Is(first, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			first = err
+		}
+	}
+	return first
 }
 
 // gradTos returns the ToS value for gradient traffic under o.
@@ -295,17 +324,21 @@ func evaluate(net *nn.Network, ds data.Dataset, n int) (acc, loss float64) {
 
 // runRing executes the INCEPTIONN training loop (Algorithm 1): every
 // worker exchanges gradients with its ring neighbours; there is no
-// aggregator node.
+// aggregator node. A failed exchange on any worker cancels its siblings
+// and surfaces as the returned error.
 func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
 	fabric := comm.NewFabric(o.Workers, o.Processor)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var res Result
 	var wg sync.WaitGroup
+	errs := make([]error, o.Workers)
 	for id := 0; id < o.Workers; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
-			e := fabric.Endpoint(id)
+			e := comm.AsCtxPeer(fabric.Endpoint(id))
 			for iter := 0; iter < iters; iter++ {
 				w.localGradient()
 				if o.LocalGradTransform != nil {
@@ -315,7 +348,11 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				ring.AllReduce(e, w.grad, o.gradTos(), o.finalizer())
+				if err := ring.AllReduceCtx(ctx, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions()); err != nil {
+					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
+					cancel() // unblock the other workers' ring steps
+					return
+				}
 				w.applyAveraged(iter, w.grad, o)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
@@ -330,6 +367,9 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 		}(id)
 	}
 	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return Result{}, err
+	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
 	return res, nil
@@ -342,8 +382,11 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
 	fabric := comm.NewFabric(o.Workers+1, o.Processor)
 	aggID := o.Workers
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var res Result
 	var wg sync.WaitGroup
+	errs := make([]error, o.Workers+1)
 
 	// Aggregator.
 	wg.Add(1)
@@ -356,9 +399,9 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 			workers[i] = i
 		}
 		gradLen := net.NumParams()
-		e := fabric.Endpoint(aggID)
+		e := comm.AsCtxPeer(fabric.Endpoint(aggID))
 		for iter := 0; iter < iters; iter++ {
-			ring.AggregateStep(e, workers, gradLen, func(sum []float32) []float32 {
+			err := ring.AggregateStepCtx(ctx, e, workers, gradLen, func(sum []float32) []float32 {
 				inv := float32(1) / float32(o.Workers)
 				for i := range sum {
 					sum[i] *= inv
@@ -373,6 +416,11 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 				}
 				return wv
 			})
+			if err != nil {
+				errs[aggID] = fmt.Errorf("train: aggregator iter %d: %w", iter, err)
+				cancel()
+				return
+			}
 		}
 		acc, loss := evaluate(net, testDS, o.EvalSamples)
 		res.FinalAcc, res.FinalLoss = acc, loss
@@ -384,7 +432,7 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 		go func(id int) {
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
-			e := fabric.Endpoint(id)
+			e := comm.AsCtxPeer(fabric.Endpoint(id))
 			for iter := 0; iter < iters; iter++ {
 				w.localGradient()
 				if o.LocalGradTransform != nil {
@@ -394,7 +442,12 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				weights := ring.WorkerExchange(e, aggID, w.grad, o.gradTos())
+				weights, err := ring.WorkerExchangeCtx(ctx, e, aggID, w.grad, o.gradTos())
+				if err != nil {
+					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
+					cancel()
+					return
+				}
 				w.net.SetWeightVector(weights)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
@@ -404,6 +457,9 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 		}(id)
 	}
 	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return Result{}, err
+	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
 	return res, nil
@@ -422,17 +478,25 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 		return Result{}, err
 	}
 	fabric := comm.NewFabric(topo.FabricSize(), o.Processor)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var res Result
 	var wg sync.WaitGroup
+	errs := make([]error, topo.FabricSize())
 
 	if mode == hierarchy.ModeAggregatorTree {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			gradLen := build(rand.New(rand.NewSource(o.Seed))).NumParams()
-			e := fabric.Endpoint(topo.AggregatorID())
+			aggID := topo.AggregatorID()
+			e := comm.AsCtxPeer(fabric.Endpoint(aggID))
 			for iter := 0; iter < iters; iter++ {
-				hierarchy.RunAggregator(topo, e, gradLen)
+				if err := hierarchy.RunAggregatorCtx(ctx, topo, e, gradLen); err != nil {
+					errs[aggID] = fmt.Errorf("train: aggregator iter %d: %w", iter, err)
+					cancel()
+					return
+				}
 			}
 		}()
 	}
@@ -442,7 +506,7 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 		go func(id int) {
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
-			e := fabric.Endpoint(id)
+			e := comm.AsCtxPeer(fabric.Endpoint(id))
 			for iter := 0; iter < iters; iter++ {
 				w.localGradient()
 				if o.LocalGradTransform != nil {
@@ -452,7 +516,11 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				hierarchy.AllReduce(topo, e, w.grad, o.gradTos(), o.finalizer())
+				if err := hierarchy.AllReduceCtx(ctx, topo, e, w.grad, o.gradTos(), o.finalizer()); err != nil {
+					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
+					cancel()
+					return
+				}
 				w.applyAveraged(iter, w.grad, o)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
@@ -467,6 +535,9 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 		}(id)
 	}
 	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return Result{}, err
+	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
 	return res, nil
@@ -504,26 +575,36 @@ func ReplicaWeights(build Builder, trainDS data.Dataset, iters int, o Options) (
 		return nil, fmt.Errorf("train: ReplicaWeights requires the ring algorithm")
 	}
 	fabric := comm.NewFabric(o.Workers, o.Processor)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	out := make([][]float32, o.Workers)
+	errs := make([]error, o.Workers)
 	var wg sync.WaitGroup
 	for id := 0; id < o.Workers; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
-			e := fabric.Endpoint(id)
+			e := comm.AsCtxPeer(fabric.Endpoint(id))
 			for iter := 0; iter < iters; iter++ {
 				w.localGradient()
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
 				w.applyErrorFeedback(o)
-				ring.AllReduce(e, w.grad, o.gradTos(), o.finalizer())
+				if err := ring.AllReduceCtx(ctx, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions()); err != nil {
+					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
+					cancel()
+					return
+				}
 				w.applyAveraged(iter, w.grad, o)
 			}
 			out[id] = w.net.WeightVector(nil)
 		}(id)
 	}
 	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
