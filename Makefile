@@ -2,10 +2,12 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench benchsmoke ci
+.PHONY: build test vet race fuzz bench bench3 benchsmoke chaostest ckptsmoke ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
+# The checkpoint write/restore latency benchmarks behind BENCH_3.json.
+BENCH3_PATTERN = BenchmarkCheckpointWrite|BenchmarkCheckpointRestore
 
 build:
 	$(GO) build ./...
@@ -37,9 +39,25 @@ bench:
 	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench_multi.txt
 	$(GO) run ./cmd/benchjson -single bench_single.txt -multi bench_multi.txt -out BENCH_2.json
 
+# Checkpoint write/restore latency report (elastic training durability).
+bench3:
+	$(GO) test -run '^$$' -bench '$(BENCH3_PATTERN)' -benchmem . | tee bench_ckpt.txt
+	$(GO) run ./cmd/benchjson -multi bench_ckpt.txt -out BENCH_3.json
+
 # One-iteration smoke run of the same benchmarks, to keep them compiling
 # and executing under CI without paying for a full measurement.
 benchsmoke:
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchtime=1x .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)|$(BENCH3_PATTERN)' -benchtime=1x .
 
-ci: vet race benchsmoke
+# Crash-recovery chaos gate: a 4-node elastic run with an injected
+# mid-step crash must shrink to 3 survivors and the post-recovery
+# checkpoint must resume bit-identically.
+chaostest:
+	$(GO) test ./internal/train -run 'TestElasticCrashRecovery' -count=1
+
+# Checkpoint round-trip smoke: durable stop/resume equals the
+# uninterrupted run, and corrupt checkpoints are rejected with fallback.
+ckptsmoke:
+	$(GO) test ./internal/train -run 'TestElasticStopResumeMatchesUninterrupted|TestRunCheckpointRoundTripAndCorruptFallback' -count=1
+
+ci: vet chaostest ckptsmoke race benchsmoke

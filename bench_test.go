@@ -468,3 +468,74 @@ func BenchmarkRingTrainingE2E(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCheckpointWrite measures the durable elastic-checkpoint write
+// path behind BENCH_3.json: encoding a full run snapshot (weights,
+// optimizer state, per-member cursors and residuals) with its trailing
+// CRC32-C and persisting it atomically (temp file, fsync, rename).
+func BenchmarkCheckpointWrite(b *testing.B) {
+	ck := benchCheckpoint()
+	dir := b.TempDir()
+	bytes := int64(4 * (len(ck.Weights) + len(ck.Velocity)))
+	for _, r := range ck.Residuals {
+		bytes += int64(4 * len(r))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ck.WriteFile(dir); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore measures the matching restore: scanning the
+// checkpoint directory, CRC-verifying the newest file, and decoding it.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	ck := benchCheckpoint()
+	dir := b.TempDir()
+	if _, err := ck.WriteFile(dir); err != nil {
+		b.Fatal(err)
+	}
+	bytes := int64(4 * (len(ck.Weights) + len(ck.Velocity)))
+	for _, r := range ck.Residuals {
+		bytes += int64(4 * len(r))
+	}
+	b.SetBytes(bytes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, _, err := train.LoadLatestCheckpoint(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.NextIter != ck.NextIter {
+			b.Fatal("restore mismatch")
+		}
+	}
+}
+
+// benchCheckpoint builds a snapshot sized like a 4-worker mini-AlexNet run
+// (~2M parameters), with error-feedback residuals for every member.
+func benchCheckpoint() *train.Checkpoint {
+	const numParams = 1 << 21
+	rng := rand.New(rand.NewSource(11))
+	vec := func() []float32 {
+		v := make([]float32, numParams)
+		for i := range v {
+			v[i] = rng.Float32()
+		}
+		return v
+	}
+	ck := &train.Checkpoint{
+		Universe: 4, Epoch: 1, NextIter: 1000, Members: []int{0, 1, 3},
+		Weights:  vec(),
+		Velocity: vec(),
+		Cursors:  map[int]uint64{0: 1000, 1: 1000, 3: 1000},
+		Residuals: map[int][]float32{
+			0: vec(), 1: vec(), 3: vec(),
+		},
+	}
+	return ck
+}

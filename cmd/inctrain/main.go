@@ -10,9 +10,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"inceptionn/internal/data"
 	"inceptionn/internal/fault"
@@ -38,6 +41,11 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "TCP chaos: deterministic injection seed")
 	stepTimeout := flag.Duration("step-timeout", 0, "TCP: per-hop ring deadline (0 = none), e.g. 10s")
 	bound := flag.Int("bound", 10, "codec error bound exponent E (bound 2^-E)")
+	elastic := flag.Bool("elastic", false, "use the elastic ring runner: failure detection, ring reconfiguration, graceful SIGINT/SIGTERM halt")
+	checkpointDir := flag.String("checkpoint-dir", "", "elastic: write durable checkpoints into this directory (implies -elastic)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "elastic: also checkpoint every N iterations (requires -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "elastic: resume from the newest valid checkpoint in -checkpoint-dir")
+	suspectAfter := flag.Duration("suspect-after", 0, "elastic: declare a worker dead after this much heartbeat silence (0 = crash self-reports only)")
 	seed := flag.Int64("seed", 42, "seed for model init and data")
 	samples := flag.Int("samples", 4000, "synthetic training samples")
 	evalEvery := flag.Int("eval", 50, "evaluate every N iterations")
@@ -97,6 +105,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "inctrain: -chaos-* and -step-timeout require -tcp")
 		os.Exit(2)
 	}
+	if *checkpointDir != "" {
+		*elastic = true
+	}
+	if (*checkpointEvery > 0 || *resume) && *checkpointDir == "" {
+		fmt.Fprintln(os.Stderr, "inctrain: -checkpoint-every and -resume require -checkpoint-dir")
+		os.Exit(2)
+	}
+	if *elastic && (*tcp || *algo != "ring") {
+		fmt.Fprintln(os.Stderr, "inctrain: -elastic requires -algo ring on the in-process fabric")
+		os.Exit(2)
+	}
 	transport := "in-process fabric"
 	if *tcp {
 		transport = "loopback TCP"
@@ -125,6 +144,37 @@ func main() {
 				100**chaosDrop, 100**chaosCorrupt, *chaosSeed)
 		}
 		res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
+	} else if *elastic {
+		o.CheckpointDir = *checkpointDir
+		o.CheckpointEvery = *checkpointEvery
+		o.Resume = *resume
+		o.SuspectAfter = *suspectAfter
+		// A first SIGINT/SIGTERM drains the run gracefully: the workers
+		// agree on a halt iteration and write a final checkpoint before the
+		// process exits nonzero. A second signal kills it the default way.
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s, ok := <-sig
+			if !ok {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "inctrain: %v: halting at the next safe iteration boundary\n", s)
+			close(stop)
+			signal.Stop(sig)
+		}()
+		o.Stop = stop
+		res, err = train.RunElastic(build, trainDS, testDS, *iters, o)
+		signal.Stop(sig)
+		if errors.Is(err, train.ErrInterrupted) {
+			if *checkpointDir != "" {
+				fmt.Fprintf(os.Stderr, "inctrain: interrupted; checkpoint written to %s (rerun with -resume to continue)\n", *checkpointDir)
+			} else {
+				fmt.Fprintln(os.Stderr, "inctrain: interrupted (no -checkpoint-dir, progress discarded)")
+			}
+			os.Exit(1)
+		}
 	} else {
 		res, err = train.Run(build, trainDS, testDS, *iters, o)
 	}

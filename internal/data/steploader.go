@@ -1,0 +1,48 @@
+package data
+
+// StepLoader draws random minibatches like Loader but derives every batch
+// from a counter instead of evolving math/rand state, so its entire
+// position is one uint64 cursor: Seek(Cursor()) resumes the exact sample
+// stream after a checkpoint restore or an elastic replay, which a
+// rand.Rand source cannot do (its state is not serializable).
+type StepLoader struct {
+	ds    Dataset
+	batch int
+	seed  int64
+	step  uint64
+}
+
+// NewStepLoader constructs a counter-based loader over ds.
+func NewStepLoader(ds Dataset, batch int, seed int64) *StepLoader {
+	return &StepLoader{ds: ds, batch: batch, seed: seed}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche mix, so distinct (seed, step, slot) triples give independent
+// draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Next returns the minibatch for the current cursor position and advances
+// it (sampling with replacement, as Loader does).
+func (l *StepLoader) Next() Batch {
+	indices := make([]int, l.batch)
+	base := splitmix64(uint64(l.seed) ^ 0xD1B54A32D192ED03)
+	for i := range indices {
+		h := splitmix64(base ^ splitmix64(l.step<<20|uint64(i)))
+		indices[i] = int(h % uint64(l.ds.Len()))
+	}
+	l.step++
+	return MakeBatch(l.ds, indices)
+}
+
+// Cursor returns the loader position (the number of batches drawn).
+func (l *StepLoader) Cursor() uint64 { return l.step }
+
+// Seek repositions the loader; Next will reproduce exactly the batch that
+// followed the same cursor value in the original stream.
+func (l *StepLoader) Seek(cursor uint64) { l.step = cursor }

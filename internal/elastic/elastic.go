@@ -1,0 +1,523 @@
+// Package elastic provides the membership and recovery layer that lets a
+// distributed training run survive node failure: heartbeat-based failure
+// detection over the fabric, epoch-numbered membership views, and the
+// coordination primitives (epoch contexts, rendezvous gathers) survivors
+// use to abort an in-flight step, agree on the shrunken ring, and replay
+// the exchange from retained local state.
+//
+// The Coordinator is the agreement abstraction. In this in-process
+// simulation it is a shared object; in a real deployment it stands in for
+// a consensus or gossip service (etcd lease, SWIM, the job scheduler).
+// Everything that must be *agreed* — who is alive, which epoch is
+// current, the common replay iteration — flows through it, so the
+// workers themselves never have to reconcile conflicting views.
+//
+// Failure evidence comes in three grades:
+//
+//   - Hard self-reports (ReportDead): a node whose transport returns a
+//     crash error for its own operations declares itself dead, the way a
+//     real process would by exiting and dropping its lease.
+//   - Heartbeat staleness: workers Beat every iteration; a node silent
+//     for longer than Config.SuspectAfter is declared dead by the
+//     detector goroutine.
+//   - Soft anomalies (ReportAnomaly, WatchErrors, and the LinkStats
+//     timeout scan): retry exhaustion, torn frames, and receive-deadline
+//     expiries observed *about* a peer. These are recorded for
+//     observability and wake waiting survivors, but never evict a node
+//     on their own — a straggler is not a corpse.
+package elastic
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"inceptionn/internal/comm"
+)
+
+// Errors returned by coordination primitives.
+var (
+	// ErrEpochChanged reports that the membership view advanced while the
+	// caller was blocked in (or about to join) an epoch-scoped operation.
+	// The caller should re-read the view and restart its protocol.
+	ErrEpochChanged = errors.New("elastic: membership epoch changed")
+	// ErrClosed reports that the coordinator has been shut down.
+	ErrClosed = errors.New("elastic: coordinator closed")
+	// ErrEvicted reports that the calling node is no longer a member of
+	// the current view.
+	ErrEvicted = errors.New("elastic: node evicted from membership")
+)
+
+// View is one epoch of the membership: the sorted fabric ids of the live
+// nodes. Epoch 0 is the full initial membership; every eviction bumps the
+// epoch by one. All survivors observe identical views (the coordinator is
+// the single source of truth), which is what makes the rebuilt ring and
+// the renormalized average deterministic across replicas.
+type View struct {
+	Epoch   int
+	Members []int
+}
+
+// Contains reports whether id is a member of the view.
+func (v View) Contains(id int) bool {
+	for _, m := range v.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Leader returns the lowest live id — the member that assumes designated
+// duties (evaluation, checkpoint writing) for this epoch.
+func (v View) Leader() int {
+	if len(v.Members) == 0 {
+		return -1
+	}
+	return v.Members[0]
+}
+
+// clone returns a deep copy so callers can hold views across lock drops.
+func (v View) clone() View {
+	return View{Epoch: v.Epoch, Members: append([]int(nil), v.Members...)}
+}
+
+// Anomaly is one soft-evidence observation about a node.
+type Anomaly struct {
+	Node int
+	Time time.Time
+	Err  error
+}
+
+// Config tunes failure detection.
+type Config struct {
+	// SuspectAfter declares a node dead when it has not Beat for this
+	// long (after beating at least once). 0 disables the heartbeat
+	// detector; deaths then come only from ReportDead.
+	SuspectAfter time.Duration
+	// ScanEvery is the detector's polling period. Defaults to
+	// SuspectAfter/4 (minimum 1ms) when zero.
+	ScanEvery time.Duration
+}
+
+// gather is one in-progress epoch-scoped all-to-all rendezvous.
+type gather struct {
+	epoch  int
+	values map[int]interface{}
+	done   chan struct{}
+	err    error
+}
+
+// linkScan remembers the last observed per-link timeout counters so the
+// detector can attribute *new* expiries between scans.
+type linkScan struct {
+	fabric *comm.Fabric
+	last   [][]int64
+}
+
+// Coordinator tracks liveness for a fixed fabric universe of n nodes and
+// publishes epoch-numbered membership views.
+type Coordinator struct {
+	mu       sync.Mutex
+	universe int
+	view     View
+	dead     map[int]error // id -> evidence
+	lastBeat []time.Time
+	started  []bool // a node must beat once before staleness applies
+
+	epochCtx    context.Context
+	epochCancel context.CancelFunc
+	changed     chan struct{} // closed and replaced on every view change
+	gathers     map[string]*gather
+	anomalies   []Anomaly
+	closed      bool
+
+	haltIter int // agreed graceful-stop iteration; -1 = none proposed
+
+	cfg   Config
+	scans []*linkScan
+	stop  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup // WatchErrors consumers
+}
+
+// NewCoordinator creates a coordinator over a universe of n nodes, all
+// initially live (epoch 0). If cfg.SuspectAfter is positive a detector
+// goroutine runs until Close.
+func NewCoordinator(n int, cfg Config) *Coordinator {
+	if n < 1 {
+		panic("elastic: coordinator needs at least one node")
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		universe:    n,
+		haltIter:    -1,
+		view:        View{Epoch: 0, Members: members},
+		dead:        make(map[int]error),
+		lastBeat:    make([]time.Time, n),
+		started:     make([]bool, n),
+		epochCtx:    ctx,
+		epochCancel: cancel,
+		changed:     make(chan struct{}),
+		gathers:     make(map[string]*gather),
+		cfg:         cfg,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if cfg.SuspectAfter > 0 {
+		scan := cfg.ScanEvery
+		if scan <= 0 {
+			scan = cfg.SuspectAfter / 4
+			if scan < time.Millisecond {
+				scan = time.Millisecond
+			}
+		}
+		go c.detect(scan)
+	} else {
+		close(c.done)
+	}
+	return c
+}
+
+// Close shuts the coordinator down: the detector stops, the current epoch
+// context is cancelled, and pending gathers fail with ErrClosed.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	c.epochCancel()
+	for k, g := range c.gathers {
+		g.err = ErrClosed
+		close(g.done)
+		delete(c.gathers, k)
+	}
+	close(c.changed)
+	c.changed = make(chan struct{})
+	c.mu.Unlock()
+	<-c.done
+	c.wg.Wait()
+}
+
+// View returns the current membership view.
+func (c *Coordinator) View() View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.view.clone()
+}
+
+// EpochContext returns a context that is cancelled the moment the given
+// epoch is superseded (or the coordinator closes). Running a collective
+// under it turns a membership change into immediate cancellation of the
+// in-flight step on every survivor. A stale epoch yields an
+// already-cancelled context.
+func (c *Coordinator) EpochContext(epoch int) context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.closed && c.view.Epoch == epoch {
+		return c.epochCtx
+	}
+	return canceledCtx
+}
+
+var canceledCtx = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+// Beat records a liveness heartbeat from id. Workers call it at every
+// iteration boundary and while waiting in recovery.
+func (c *Coordinator) Beat(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id >= 0 && id < c.universe {
+		c.lastBeat[id] = time.Now()
+		c.started[id] = true
+	}
+}
+
+// ReportDead declares id dead on hard evidence (a crash self-report, a
+// dropped lease), advancing the membership epoch. Declaring an
+// already-dead or unknown node is a no-op.
+func (c *Coordinator) ReportDead(id int, cause error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.declareDeadLocked(id, cause)
+}
+
+// declareDeadLocked performs the eviction under c.mu.
+func (c *Coordinator) declareDeadLocked(id int, cause error) {
+	if c.closed || !c.view.Contains(id) {
+		return
+	}
+	if cause == nil {
+		cause = errors.New("elastic: declared dead")
+	}
+	c.dead[id] = cause
+	members := make([]int, 0, len(c.view.Members)-1)
+	for _, m := range c.view.Members {
+		if m != id {
+			members = append(members, m)
+		}
+	}
+	sort.Ints(members)
+	c.view = View{Epoch: c.view.Epoch + 1, Members: members}
+	// Abort the superseded epoch's in-flight collectives and fail its
+	// pending gathers; survivors re-rendezvous under the new epoch.
+	c.epochCancel()
+	c.epochCtx, c.epochCancel = context.WithCancel(context.Background())
+	for k, g := range c.gathers {
+		g.err = ErrEpochChanged
+		close(g.done)
+		delete(c.gathers, k)
+	}
+	close(c.changed)
+	c.changed = make(chan struct{})
+}
+
+// DeathCause returns the recorded evidence for a dead node (nil if live).
+func (c *Coordinator) DeathCause(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead[id]
+}
+
+// ReportAnomaly records soft evidence about a node: a transport error, a
+// straggling link. Anomalies never evict on their own but are kept for
+// observability (and surface in test assertions).
+func (c *Coordinator) ReportAnomaly(node int, err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	const keep = 64
+	c.anomalies = append(c.anomalies, Anomaly{Node: node, Time: time.Now(), Err: err})
+	if len(c.anomalies) > keep {
+		c.anomalies = c.anomalies[len(c.anomalies)-keep:]
+	}
+}
+
+// Anomalies returns a copy of the retained anomaly log.
+func (c *Coordinator) Anomalies() []Anomaly {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Anomaly(nil), c.anomalies...)
+}
+
+// WatchErrors consumes a transport anomaly channel (tcpfabric
+// Node.Errors, or any error feed) attributed to node id. Errors for
+// which fatal returns true are hard evidence and evict the node; all
+// others are recorded as anomalies. A nil fatal treats everything as
+// soft. The consumer goroutine exits when ch closes or the coordinator
+// does.
+func (c *Coordinator) WatchErrors(id int, ch <-chan error, fatal func(error) bool) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case err, ok := <-ch:
+				if !ok {
+					return
+				}
+				if fatal != nil && fatal(err) {
+					c.ReportDead(id, err)
+				} else {
+					c.ReportAnomaly(id, err)
+				}
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// WatchFabric registers an in-process fabric's LinkStats with the
+// detector: new receive-timeout expiries observed between scans are
+// reported as anomalies against the link's source node (the peer being
+// waited on). Requires a running detector (Config.SuspectAfter > 0).
+func (c *Coordinator) WatchFabric(f *comm.Fabric) {
+	n := f.N()
+	last := make([][]int64, n)
+	for i := range last {
+		last[i] = make([]int64, n)
+	}
+	c.mu.Lock()
+	c.scans = append(c.scans, &linkScan{fabric: f, last: last})
+	c.mu.Unlock()
+}
+
+// detect is the failure-detector loop: heartbeat staleness evicts, link
+// timeout growth raises anomalies.
+func (c *Coordinator) detect(every time.Duration) {
+	defer close(c.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		now := time.Now()
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		for _, id := range append([]int(nil), c.view.Members...) {
+			if c.started[id] && now.Sub(c.lastBeat[id]) > c.cfg.SuspectAfter {
+				c.declareDeadLocked(id, fmt.Errorf(
+					"elastic: node %d heartbeat stale for %v (limit %v)",
+					id, now.Sub(c.lastBeat[id]).Round(time.Millisecond), c.cfg.SuspectAfter))
+			}
+		}
+		scans := c.scans
+		c.mu.Unlock()
+		for _, sc := range scans {
+			n := sc.fabric.N()
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					cur := sc.fabric.Stats(src, dst).Timeouts.Load()
+					if d := cur - sc.last[src][dst]; d > 0 {
+						c.ReportAnomaly(src, fmt.Errorf(
+							"elastic: %d new receive timeouts on link %d->%d", d, src, dst))
+					}
+					sc.last[src][dst] = cur
+				}
+			}
+		}
+	}
+}
+
+// ProposeHalt requests a graceful stop: the first proposer fixes the halt
+// at its own iteration + 1 (set-once; later proposals are ignored) and
+// every worker stops before exchanging any iteration ≥ the agreed value.
+// Because workers can be at most one iteration apart (a ring exchange
+// cannot complete without every member engaging), ownIter+1 is ≥ every
+// worker's current iteration — nobody has already exchanged it, so all
+// survivors halt at the same boundary with identical weights. Returns the
+// agreed halt iteration.
+func (c *Coordinator) ProposeHalt(ownIter int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.haltIter < 0 {
+		c.haltIter = ownIter + 1
+		close(c.changed)
+		c.changed = make(chan struct{})
+	}
+	return c.haltIter
+}
+
+// HaltIter returns the agreed halt iteration, or -1 when no stop has been
+// proposed.
+func (c *Coordinator) HaltIter() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.haltIter
+}
+
+// AwaitEpoch blocks until the membership epoch exceeds after (returning
+// the new view), the context is done, or the coordinator closes. It is
+// how a survivor that aborted an exchange on soft evidence waits for the
+// verdict: either someone is declared dead (view advances, recovery
+// proceeds) or nobody is and the caller's deadline fires (the fault was
+// not a membership event — escalate).
+func (c *Coordinator) AwaitEpoch(ctx context.Context, after int) (View, error) {
+	for {
+		c.mu.Lock()
+		if c.view.Epoch > after {
+			v := c.view.clone()
+			c.mu.Unlock()
+			return v, nil
+		}
+		if c.closed {
+			c.mu.Unlock()
+			return View{}, ErrClosed
+		}
+		ch := c.changed
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return View{}, ctx.Err()
+		}
+	}
+}
+
+// Gather is the epoch-scoped rendezvous barrier: every member of the
+// given epoch's view calls it with the same key and its own value; all
+// callers block until the last member arrives, then all receive the full
+// id→value map. If the epoch advances (another death) while any caller
+// waits, every caller gets ErrEpochChanged and must restart under the
+// new view. Keys are caller-scoped (include the epoch or iteration in
+// the key); a completed gather's key is immediately reusable.
+//
+// Recovery uses it to agree on the common replay iteration (values are
+// the survivors' current iterations; the minimum wins) while doubling as
+// the barrier that guarantees no survivor emits new-epoch traffic before
+// everyone abandoned the old epoch. Checkpointing uses it to assemble
+// per-member state at the writer.
+func (c *Coordinator) Gather(ctx context.Context, id, epoch int, key string, value interface{}) (map[int]interface{}, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c.view.Epoch != epoch {
+		c.mu.Unlock()
+		return nil, ErrEpochChanged
+	}
+	if !c.view.Contains(id) {
+		c.mu.Unlock()
+		return nil, ErrEvicted
+	}
+	g := c.gathers[key]
+	if g == nil {
+		g = &gather{epoch: epoch, values: make(map[int]interface{}), done: make(chan struct{})}
+		c.gathers[key] = g
+	}
+	g.values[id] = value
+	if len(g.values) == len(c.view.Members) {
+		delete(c.gathers, key)
+		close(g.done)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-g.done:
+		if g.err != nil {
+			return nil, g.err
+		}
+		return g.values, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// MinIter extracts the minimum int value from a Gather result — the
+// common replay iteration during recovery.
+func MinIter(values map[int]interface{}) int {
+	first := true
+	m := 0
+	for _, v := range values {
+		it := v.(int)
+		if first || it < m {
+			m = it
+			first = false
+		}
+	}
+	return m
+}

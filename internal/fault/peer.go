@@ -285,25 +285,38 @@ func (p *Peer) SendCtx(ctx context.Context, dst int, payload []float32, tos uint
 // RecvCtx returns the next verified in-order payload from src, blocking
 // until ctx is done. A tag mismatch is returned as a protocol error.
 func (p *Peer) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error) {
+	payload, got, err := p.RecvMessageCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("fault: node %d expected tag %d from %d, got %d", p.ID(), tag, src, got)
+	}
+	return payload, nil
+}
+
+// RecvMessageCtx receives the next verified in-order payload from src
+// regardless of its tag, returning the payload and the tag it carried.
+// It is the demultiplexing primitive the elastic layer's epoch-filtering
+// receiver is built on (stale-epoch frames from an aborted exchange are
+// inspected and discarded by tag).
+func (p *Peer) RecvMessageCtx(ctx context.Context, src int) ([]float32, int, error) {
 	if p.closed.Load() {
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 	if p.inj.Crashed(p.ID()) {
-		return nil, fmt.Errorf("fault: node %d recv: %w", p.ID(), ErrCrashed)
+		return nil, 0, fmt.Errorf("fault: node %d recv: %w", p.ID(), ErrCrashed)
 	}
 	start := time.Now()
 	select {
 	case d := <-p.inbox[src]:
 		p.stats[src].ObserveRecvWait(time.Since(start).Nanoseconds())
-		if d.tag != tag {
-			return nil, fmt.Errorf("fault: node %d expected tag %d from %d, got %d", p.ID(), tag, src, d.tag)
-		}
-		return d.payload, nil
+		return d.payload, d.tag, nil
 	case <-ctx.Done():
 		p.stats[src].Timeouts.Add(1)
-		return nil, fmt.Errorf("fault: recv %d<-%d: %w", p.ID(), src, ctx.Err())
+		return nil, 0, fmt.Errorf("fault: recv %d<-%d: %w", p.ID(), src, ctx.Err())
 	case <-p.ctx.Done():
-		return nil, ErrClosed
+		return nil, 0, ErrClosed
 	}
 }
 

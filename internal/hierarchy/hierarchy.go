@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"inceptionn/internal/comm"
+	"inceptionn/internal/ring"
 )
 
 // Mode selects the inter-group organization.
@@ -96,89 +97,24 @@ func (t Topology) leader(id int) bool {
 	return rank == 0
 }
 
-// ringAllReduceCtx runs Algorithm 1 over an arbitrary member set (a group
-// or the set of group leaders), identified by their fabric ids in ring
-// order. Transport failures and context cancellation return errors.
-func ringAllReduceCtx(ctx context.Context, e comm.CtxPeer, ids []int, myRank int, grad []float32, tos uint8, finalize func([]float32)) error {
-	n := len(ids)
-	if n == 1 {
-		if finalize != nil {
-			finalize(grad)
-		}
-		return nil
-	}
-	right := ids[(myRank+1)%n]
-	left := ids[(myRank-1+n)%n]
-
-	step := func(sendBlk, recvBlk, tag int, reduce bool) error {
-		lo, hi := blockBounds(len(grad), n, sendBlk)
-		if err := e.SendCtx(ctx, right, grad[lo:hi], tos, tag); err != nil {
-			return fmt.Errorf("hierarchy: node %d send block %d to %d: %w", e.ID(), sendBlk, right, err)
-		}
-		rb, err := e.RecvCtx(ctx, left, tag)
-		if err != nil {
-			return fmt.Errorf("hierarchy: node %d recv block %d from %d: %w", e.ID(), recvBlk, left, err)
-		}
-		lo, hi = blockBounds(len(grad), n, recvBlk)
-		local := grad[lo:hi]
-		if len(rb) != len(local) {
-			return fmt.Errorf("hierarchy: node %d tag %d: block size %d, want %d", e.ID(), tag, len(rb), len(local))
-		}
-		if reduce {
-			for i, v := range rb {
-				local[i] += v
-			}
-		} else {
-			copy(local, rb)
-		}
-		return nil
-	}
-
-	for s := 1; s <= n-1; s++ {
-		sendBlk := ((myRank-s+1)%n + n) % n
-		recvBlk := ((myRank-s)%n + n) % n
-		if err := step(sendBlk, recvBlk, 8000+s, true); err != nil {
-			return err
-		}
-	}
-	if finalize != nil {
-		lo, hi := blockBounds(len(grad), n, (myRank+1)%n)
-		finalize(grad[lo:hi])
-	}
-	for s := 0; s <= n-2; s++ {
-		sendBlk := ((myRank+1-s)%n + n) % n
-		recvBlk := ((myRank-s)%n + n) % n
-		if err := step(sendBlk, recvBlk, 9000+s, false); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func blockBounds(n, parts, b int) (lo, hi int) {
-	per := n / parts
-	rem := n % parts
-	lo = b*per + min(b, rem)
-	size := per
-	if b < rem {
-		size++
-	}
-	return lo, lo + size
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// Tags for the leader↔member and leader↔aggregator legs.
+// Tags for the leader↔member and leader↔aggregator legs, plus the tag
+// offsets that keep the two ring levels' tag spaces disjoint (the links
+// are disjoint too, but disjoint tags make misrouted frames loud).
 const (
 	tagLeaderDown = 9500
 	tagGradUp     = 9600
 	tagResultDown = 9601
+
+	groupTagOffset  = 8000
+	leaderTagOffset = 16000
 )
+
+// levelOptions returns the ring options for one hierarchy level: the
+// caller's step deadline and chunking with the level's private tag space.
+func levelOptions(opt ring.Options, tagOffset int) ring.Options {
+	opt.TagOffset += tagOffset
+	return opt
+}
 
 // AllReduce performs the hierarchical global gradient sum on worker id:
 // intra-group ring, inter-group exchange per the topology mode, and an
@@ -193,28 +129,32 @@ const (
 //
 // AllReduce is the legacy panic-on-failure wrapper around AllReduceCtx.
 func AllReduce(t Topology, e *comm.Endpoint, grad []float32, tos uint8, finalize func([]float32)) {
-	if err := AllReduceCtx(context.Background(), t, comm.AsCtxPeer(e), grad, tos, finalize); err != nil {
+	if err := AllReduceCtx(context.Background(), t, comm.AsCtxPeer(e), grad, tos, finalize, ring.Options{}); err != nil {
 		panic(err)
 	}
 }
 
 // AllReduceCtx is the fault-tolerant form of AllReduce: transport
 // anomalies and context cancellation surface as errors instead of
-// panicking the worker goroutine.
-func AllReduceCtx(ctx context.Context, t Topology, e comm.CtxPeer, grad []float32, tos uint8, finalize func([]float32)) error {
+// panicking the worker goroutine. Both ring levels delegate to
+// ring.AllReduceGroupCtx, so opt's StepTimeout bounds every individual
+// hop (a wedged peer surfaces as a timeout naming the link, without the
+// caller having to cancel) and opt's ChunkSize pipelines each block.
+// The leader↔member and leader↔aggregator legs honour the deadline too.
+func AllReduceCtx(ctx context.Context, t Topology, e comm.CtxPeer, grad []float32, tos uint8, finalize func([]float32), opt ring.Options) error {
 	if err := t.Validate(); err != nil {
 		return err
 	}
 	id := e.ID()
-	g, rank := t.group(id)
+	g, _ := t.group(id)
 	groupIDs := make([]int, t.GroupSize)
 	for i := range groupIDs {
 		groupIDs[i] = g*t.GroupSize + i
 	}
 
 	// Level 1: intra-group ring (gradients, compressible).
-	if err := ringAllReduceCtx(ctx, e, groupIDs, rank, grad, tos, finalize); err != nil {
-		return err
+	if err := ring.AllReduceGroupCtx(ctx, e, groupIDs, grad, tos, finalize, levelOptions(opt, groupTagOffset)); err != nil {
+		return fmt.Errorf("hierarchy: group ring: %w", err)
 	}
 
 	// Level 2: inter-group exchange by the leaders.
@@ -225,14 +165,14 @@ func AllReduceCtx(ctx context.Context, t Topology, e comm.CtxPeer, grad []float3
 			for i := range leaders {
 				leaders[i] = i * t.GroupSize
 			}
-			if err := ringAllReduceCtx(ctx, e, leaders, g, grad, tos, finalize); err != nil {
-				return err
+			if err := ring.AllReduceGroupCtx(ctx, e, leaders, grad, tos, finalize, levelOptions(opt, leaderTagOffset)); err != nil {
+				return fmt.Errorf("hierarchy: leader ring: %w", err)
 			}
 		case ModeAggregatorTree:
-			if err := e.SendCtx(ctx, t.AggregatorID(), grad, tos, tagGradUp); err != nil {
+			if err := sendStep(ctx, e, opt, t.AggregatorID(), grad, tos, tagGradUp); err != nil {
 				return fmt.Errorf("hierarchy: leader %d gradient up: %w", id, err)
 			}
-			rb, err := e.RecvCtx(ctx, t.AggregatorID(), tagResultDown)
+			rb, err := recvStep(ctx, e, opt, t.AggregatorID(), tagResultDown)
 			if err != nil {
 				return fmt.Errorf("hierarchy: leader %d result down: %w", id, err)
 			}
@@ -240,12 +180,12 @@ func AllReduceCtx(ctx context.Context, t Topology, e comm.CtxPeer, grad []float3
 		}
 		// Level 3: broadcast the global result inside the group.
 		for _, member := range groupIDs[1:] {
-			if err := e.SendCtx(ctx, member, grad, 0, tagLeaderDown); err != nil {
+			if err := sendStep(ctx, e, opt, member, grad, 0, tagLeaderDown); err != nil {
 				return fmt.Errorf("hierarchy: leader %d broadcast to %d: %w", id, member, err)
 			}
 		}
 	} else {
-		rb, err := e.RecvCtx(ctx, groupIDs[0], tagLeaderDown)
+		rb, err := recvStep(ctx, e, opt, groupIDs[0], tagLeaderDown)
 		if err != nil {
 			return fmt.Errorf("hierarchy: member %d awaiting leader %d: %w", id, groupIDs[0], err)
 		}
@@ -254,25 +194,41 @@ func AllReduceCtx(ctx context.Context, t Topology, e comm.CtxPeer, grad []float3
 	return nil
 }
 
+// sendStep is one deadline-bounded point-to-point send.
+func sendStep(ctx context.Context, e comm.CtxPeer, opt ring.Options, dst int, vec []float32, tos uint8, tag int) error {
+	sctx, cancel := opt.StepContext(ctx)
+	defer cancel()
+	return e.SendCtx(sctx, dst, vec, tos, tag)
+}
+
+// recvStep is one deadline-bounded point-to-point receive.
+func recvStep(ctx context.Context, e comm.CtxPeer, opt ring.Options, src int, tag int) ([]float32, error) {
+	sctx, cancel := opt.StepContext(ctx)
+	defer cancel()
+	return e.RecvCtx(sctx, src, tag)
+}
+
 // RunAggregator is the global aggregator loop body for one iteration of
 // ModeAggregatorTree: it sums the group leaders' vectors and sends the
 // result back. It is the legacy panic-on-failure wrapper around
 // RunAggregatorCtx.
 func RunAggregator(t Topology, e *comm.Endpoint, gradLen int) {
-	if err := RunAggregatorCtx(context.Background(), t, comm.AsCtxPeer(e), gradLen); err != nil {
+	if err := RunAggregatorCtx(context.Background(), t, comm.AsCtxPeer(e), gradLen, ring.Options{}); err != nil {
 		panic(err)
 	}
 }
 
-// RunAggregatorCtx is the error-returning form of RunAggregator.
-func RunAggregatorCtx(ctx context.Context, t Topology, e comm.CtxPeer, gradLen int) error {
+// RunAggregatorCtx is the error-returning form of RunAggregator. Each
+// per-leader gather and result leg is bounded by opt.StepTimeout, so one
+// wedged leader fails the step with an error naming it.
+func RunAggregatorCtx(ctx context.Context, t Topology, e comm.CtxPeer, gradLen int, opt ring.Options) error {
 	sum := make([]float32, gradLen)
 	leaders := make([]int, t.Groups())
 	for i := range leaders {
 		leaders[i] = i * t.GroupSize
 	}
 	for _, l := range leaders {
-		g, err := e.RecvCtx(ctx, l, tagGradUp)
+		g, err := recvStep(ctx, e, opt, l, tagGradUp)
 		if err != nil {
 			return fmt.Errorf("hierarchy: aggregator gather from %d: %w", l, err)
 		}
@@ -284,7 +240,7 @@ func RunAggregatorCtx(ctx context.Context, t Topology, e comm.CtxPeer, gradLen i
 		}
 	}
 	for _, l := range leaders {
-		if err := e.SendCtx(ctx, l, sum, 0, tagResultDown); err != nil {
+		if err := sendStep(ctx, e, opt, l, sum, 0, tagResultDown); err != nil {
 			return fmt.Errorf("hierarchy: aggregator result to %d: %w", l, err)
 		}
 	}

@@ -1,0 +1,50 @@
+package hierarchy
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/ring"
+)
+
+// TestAllReduceCtxTimeoutOnStalledWorker injects a stall into the
+// hierarchical exchange: worker 3 never joins its group ring. With a
+// StepTimeout its group peer must surface a deadline error instead of
+// wedging the whole hierarchy.
+func TestAllReduceCtxTimeoutOnStalledWorker(t *testing.T) {
+	topo := Topology{Workers: 4, GroupSize: 2, Mode: ModeRingOfLeaders}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := comm.NewFabric(topo.FabricSize(), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	opt := ring.Options{StepTimeout: 50 * time.Millisecond}
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for id := 0; id < 3; id++ { // worker 3 stalls: it never starts
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			g := []float32{float32(id), 1}
+			errs[id] = AllReduceCtx(ctx, topo, comm.AsCtxPeer(f.Endpoint(id)), g, 0, nil, opt)
+		}(id)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hierarchy hung on the stalled worker despite StepTimeout")
+	}
+	// Worker 2 shares a group ring with the stalled worker 3: it must be
+	// the one reporting the step deadline.
+	if errs[2] == nil || !errors.Is(errs[2], context.DeadlineExceeded) {
+		t.Fatalf("worker 2: err = %v, want a step deadline", errs[2])
+	}
+}

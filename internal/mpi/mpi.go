@@ -24,8 +24,14 @@ import (
 )
 
 // Comm is a communicator: one rank's handle on the collective group.
+// A communicator may span the whole fabric (World) or an arbitrary member
+// subset (SubWorld); ranks are always dense [0, Size()) and are mapped to
+// fabric ids internally, which is how an elastic run rebuilds its
+// neighbor maps after evicting a failed node.
 type Comm struct {
 	e           comm.CtxPeer
+	members     []int // fabric ids by rank; nil = identity (full fabric)
+	rank        int   // this process's rank within members
 	tos         uint8
 	finalize    func([]float32)
 	stepTimeout time.Duration
@@ -33,7 +39,7 @@ type Comm struct {
 
 // World returns rank id's communicator over fabric f.
 func World(f *comm.Fabric, id int) *Comm {
-	return &Comm{e: f.Endpoint(id)}
+	return &Comm{e: f.Endpoint(id), rank: id}
 }
 
 // WorldPeer returns a communicator over any transport peer — an
@@ -41,14 +47,57 @@ func World(f *comm.Fabric, id int) *Comm {
 // internal/fault. Peers that do not implement comm.CtxPeer are adapted
 // with blocking semantics.
 func WorldPeer(p comm.Peer) *Comm {
-	return &Comm{e: comm.AsCtxPeer(p)}
+	return &Comm{e: comm.AsCtxPeer(p), rank: p.ID()}
+}
+
+// SubWorld returns a communicator restricted to the given fabric ids, in
+// rank order; p's own id must be a member. Collectives on a SubWorld only
+// touch member links — the other fabric nodes are invisible — so a
+// training run that loses a node can continue on the survivors by
+// rebuilding its communicator over the (n−1)-member view.
+func SubWorld(p comm.Peer, members []int) (*Comm, error) {
+	n := p.N()
+	seen := make(map[int]bool, len(members))
+	rank := -1
+	for i, m := range members {
+		if m < 0 || m >= n {
+			return nil, fmt.Errorf("mpi: member %d out of fabric range [0,%d)", m, n)
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("mpi: duplicate member %d", m)
+		}
+		seen[m] = true
+		if m == p.ID() {
+			rank = i
+		}
+	}
+	if rank < 0 {
+		return nil, fmt.Errorf("mpi: node %d is not in member list %v", p.ID(), members)
+	}
+	return &Comm{e: comm.AsCtxPeer(p), members: append([]int(nil), members...), rank: rank}, nil
 }
 
 // Rank returns this process's rank.
-func (c *Comm) Rank() int { return c.e.ID() }
+func (c *Comm) Rank() int { return c.rank }
 
 // Size returns the communicator size.
-func (c *Comm) Size() int { return c.e.N() }
+func (c *Comm) Size() int {
+	if c.members == nil {
+		return c.e.N()
+	}
+	return len(c.members)
+}
+
+// id maps a communicator rank to its fabric id.
+func (c *Comm) id(rank int) int {
+	if c.members == nil {
+		return rank
+	}
+	return c.members[rank]
+}
+
+// Members returns the fabric ids by rank (nil for a full-fabric World).
+func (c *Comm) Members() []int { return c.members }
 
 // CollectiveCommComp enables or disables lossy compression for subsequent
 // collectives on this communicator by setting the packet ToS field, exactly
@@ -82,23 +131,23 @@ func (c *Comm) stepCtx(ctx context.Context) (context.Context, context.CancelFunc
 	return ctx, func() {}
 }
 
-// sendStep is one deadline-bounded send.
+// sendStep is one deadline-bounded send to the given communicator rank.
 func (c *Comm) sendStep(ctx context.Context, dst int, vec []float32, tos uint8, tag int) error {
 	sctx, cancel := c.stepCtx(ctx)
 	defer cancel()
-	if err := c.e.SendCtx(sctx, dst, vec, tos, tag); err != nil {
-		return fmt.Errorf("mpi: rank %d send to %d: %w", c.Rank(), dst, err)
+	if err := c.e.SendCtx(sctx, c.id(dst), vec, tos, tag); err != nil {
+		return fmt.Errorf("mpi: rank %d send to rank %d: %w", c.Rank(), dst, err)
 	}
 	return nil
 }
 
-// recvStep is one deadline-bounded receive.
+// recvStep is one deadline-bounded receive from the given communicator rank.
 func (c *Comm) recvStep(ctx context.Context, src int, tag int) ([]float32, error) {
 	sctx, cancel := c.stepCtx(ctx)
 	defer cancel()
-	rb, err := c.e.RecvCtx(sctx, src, tag)
+	rb, err := c.e.RecvCtx(sctx, c.id(src), tag)
 	if err != nil {
-		return nil, fmt.Errorf("mpi: rank %d recv from %d: %w", c.Rank(), src, err)
+		return nil, fmt.Errorf("mpi: rank %d recv from rank %d: %w", c.Rank(), src, err)
 	}
 	return rb, nil
 }
@@ -124,7 +173,7 @@ func (c *Comm) AllReduce(vec []float32) {
 // transport errors are returned, and the communicator's step timeout
 // bounds each ring hop.
 func (c *Comm) AllReduceCtx(ctx context.Context, vec []float32) error {
-	return ring.AllReduceCtx(ctx, c.e, vec, c.tos, c.finalize, ring.Options{StepTimeout: c.stepTimeout})
+	return ring.AllReduceGroupCtx(ctx, c.e, c.members, vec, c.tos, c.finalize, ring.Options{StepTimeout: c.stepTimeout})
 }
 
 // Bcast distributes root's vec to all ranks, in place, over a binomial

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 )
@@ -11,94 +12,132 @@ import (
 // Checkpoint format (little-endian):
 //
 //	u32 magic "INCW"
-//	u32 version (1)
+//	u32 version (2)
 //	u32 parameter-tensor count
 //	per tensor: u32 name length, name bytes, u32 element count, elements
+//	u32 CRC32-C (Castagnoli) of all preceding bytes
+//
+// Version 1 lacked the trailing checksum; it is no longer produced and is
+// rejected on load with a descriptive error. Load is transactional: the
+// stream is fully parsed and verified against the checksum before any
+// network state is mutated, so a truncated or corrupt checkpoint can
+// never leave a replica half-restored.
 const (
 	checkpointMagic   = 0x494E4357
-	checkpointVersion = 1
+	checkpointVersion = 2
 )
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // Save writes the network's weights to w as a checkpoint.
 func (n *Network) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
+	h := crc32.New(castagnoli)
+	out := io.MultiWriter(bw, h)
 	var head [12]byte
 	binary.LittleEndian.PutUint32(head[0:], checkpointMagic)
 	binary.LittleEndian.PutUint32(head[4:], checkpointVersion)
 	binary.LittleEndian.PutUint32(head[8:], uint32(len(n.params)))
-	if _, err := bw.Write(head[:]); err != nil {
+	if _, err := out.Write(head[:]); err != nil {
 		return fmt.Errorf("nn: save header: %w", err)
 	}
 	var scratch [4]byte
 	for _, p := range n.params {
 		binary.LittleEndian.PutUint32(scratch[:], uint32(len(p.Name)))
-		if _, err := bw.Write(scratch[:]); err != nil {
+		if _, err := out.Write(scratch[:]); err != nil {
 			return fmt.Errorf("nn: save %s: %w", p.Name, err)
 		}
-		if _, err := bw.WriteString(p.Name); err != nil {
+		if _, err := out.Write([]byte(p.Name)); err != nil {
 			return fmt.Errorf("nn: save %s: %w", p.Name, err)
 		}
 		binary.LittleEndian.PutUint32(scratch[:], uint32(p.W.Len()))
-		if _, err := bw.Write(scratch[:]); err != nil {
+		if _, err := out.Write(scratch[:]); err != nil {
 			return fmt.Errorf("nn: save %s: %w", p.Name, err)
 		}
-		for _, v := range p.W.Data {
-			binary.LittleEndian.PutUint32(scratch[:], math.Float32bits(v))
-			if _, err := bw.Write(scratch[:]); err != nil {
-				return fmt.Errorf("nn: save %s: %w", p.Name, err)
-			}
+		raw := make([]byte, 4*len(p.W.Data))
+		for i, v := range p.W.Data {
+			binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
 		}
+		if _, err := out.Write(raw); err != nil {
+			return fmt.Errorf("nn: save %s: %w", p.Name, err)
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:], h.Sum32())
+	if _, err := bw.Write(scratch[:]); err != nil {
+		return fmt.Errorf("nn: save checksum: %w", err)
 	}
 	return bw.Flush()
 }
 
 // Load restores weights saved by Save into the network. The checkpoint's
-// parameter names, order, and sizes must match the network exactly.
+// parameter names, order, and sizes must match the network exactly, and
+// the trailing CRC32-C must verify. On any error the network is left
+// untouched — state is committed only after the whole stream checks out.
 func (n *Network) Load(r io.Reader) error {
 	br := bufio.NewReader(r)
+	h := crc32.New(castagnoli)
+	tr := io.TeeReader(br, h)
 	var head [12]byte
-	if _, err := io.ReadFull(br, head[:]); err != nil {
+	if _, err := io.ReadFull(tr, head[:]); err != nil {
 		return fmt.Errorf("nn: load header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(head[0:]) != checkpointMagic {
 		return fmt.Errorf("nn: not a checkpoint (bad magic)")
 	}
 	if v := binary.LittleEndian.Uint32(head[4:]); v != checkpointVersion {
-		return fmt.Errorf("nn: unsupported checkpoint version %d", v)
+		return fmt.Errorf("nn: unsupported checkpoint version %d (this build reads version %d)", v, checkpointVersion)
 	}
 	count := int(binary.LittleEndian.Uint32(head[8:]))
 	if count != len(n.params) {
 		return fmt.Errorf("nn: checkpoint has %d tensors, network has %d", count, len(n.params))
 	}
+	// Stage every tensor before touching the network, validating sizes
+	// against the model (not the stream) so a corrupt length field can
+	// neither over-allocate nor misalign the parse.
 	var scratch [4]byte
-	for _, p := range n.params {
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+	staged := make([][]float32, len(n.params))
+	for pi, p := range n.params {
+		if _, err := io.ReadFull(tr, scratch[:]); err != nil {
 			return fmt.Errorf("nn: load %s: %w", p.Name, err)
 		}
 		nameLen := int(binary.LittleEndian.Uint32(scratch[:]))
-		if nameLen > 4096 {
-			return fmt.Errorf("nn: implausible name length %d", nameLen)
+		if nameLen != len(p.Name) {
+			return fmt.Errorf("nn: tensor %d name length %d, network expects %q", pi, nameLen, p.Name)
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
+		if _, err := io.ReadFull(tr, name); err != nil {
 			return fmt.Errorf("nn: load %s: %w", p.Name, err)
 		}
 		if string(name) != p.Name {
 			return fmt.Errorf("nn: checkpoint tensor %q, network expects %q", name, p.Name)
 		}
-		if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		if _, err := io.ReadFull(tr, scratch[:]); err != nil {
 			return fmt.Errorf("nn: load %s: %w", p.Name, err)
 		}
 		if got := int(binary.LittleEndian.Uint32(scratch[:])); got != p.W.Len() {
 			return fmt.Errorf("nn: tensor %s has %d elements, network expects %d",
 				p.Name, got, p.W.Len())
 		}
-		for i := range p.W.Data {
-			if _, err := io.ReadFull(br, scratch[:]); err != nil {
-				return fmt.Errorf("nn: load %s[%d]: %w", p.Name, i, err)
-			}
-			p.W.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(scratch[:]))
+		raw := make([]byte, 4*p.W.Len())
+		if _, err := io.ReadFull(tr, raw); err != nil {
+			return fmt.Errorf("nn: load %s data: %w", p.Name, err)
 		}
+		vals := make([]float32, p.W.Len())
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		staged[pi] = vals
+	}
+	sum := h.Sum32()
+	// The stored checksum is read outside the tee so it does not hash itself.
+	if _, err := io.ReadFull(br, scratch[:]); err != nil {
+		return fmt.Errorf("nn: load checksum: %w", err)
+	}
+	if stored := binary.LittleEndian.Uint32(scratch[:]); stored != sum {
+		return fmt.Errorf("nn: checkpoint checksum mismatch (stored %08x, computed %08x): corrupt or truncated stream", stored, sum)
+	}
+	for pi, p := range n.params {
+		copy(p.W.Data, staged[pi])
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -90,6 +91,78 @@ func TestLoadRejectsTruncated(t *testing.T) {
 	if err := dst.Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
 		t.Fatal("expected error on truncated checkpoint")
 	}
+}
+
+func TestLoadRejectsCorruptByteAndLeavesStateUntouched(t *testing.T) {
+	src := testNet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := testNet(2)
+	before := dst.WeightVector(nil)
+	// Flip one payload byte: the CRC must catch it and the target network
+	// must keep its original weights (no partial restore).
+	for _, pos := range []int{16, buf.Len() / 2, buf.Len() - 6} {
+		bad := append([]byte(nil), buf.Bytes()...)
+		bad[pos] ^= 0x40
+		err := dst.Load(bytes.NewReader(bad))
+		if err == nil {
+			t.Fatalf("corrupt byte at %d accepted", pos)
+		}
+		after := dst.WeightVector(nil)
+		for i := range before {
+			if math.Float32bits(before[i]) != math.Float32bits(after[i]) {
+				t.Fatalf("failed load mutated weight %d (corruption at byte %d)", i, pos)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsVersion1(t *testing.T) {
+	src := testNet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 1 // rewrite version field
+	if err := src.Load(bytes.NewReader(b)); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want unsupported-version error", err)
+	}
+}
+
+// FuzzLoad feeds arbitrary streams to Load: it must never panic, and a
+// failed load must never leave partial state behind.
+func FuzzLoad(f *testing.F) {
+	src := testNet(1)
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(append([]byte(nil), valid...))
+	f.Add(append([]byte(nil), valid[:len(valid)/2]...))
+	f.Add(append([]byte(nil), valid[:13]...))
+	f.Add([]byte{})
+	f.Add([]byte("not a checkpoint at all"))
+	bad := append([]byte(nil), valid...)
+	bad[len(bad)/3] ^= 0xFF
+	f.Add(bad)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		n := testNet(7)
+		before := n.WeightVector(nil)
+		err := n.Load(bytes.NewReader(b))
+		after := n.WeightVector(nil)
+		if err != nil {
+			for i := range before {
+				if math.Float32bits(before[i]) != math.Float32bits(after[i]) {
+					t.Fatalf("failed load mutated weight %d", i)
+				}
+			}
+		}
+	})
 }
 
 func TestCheckpointPreservesBehaviour(t *testing.T) {

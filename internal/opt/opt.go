@@ -74,6 +74,49 @@ func (s *SGD) Step(params []*nn.Param) {
 	}
 }
 
+// VelocityVector appends the flattened momentum state, in parameter
+// order, to dst — zeros for parameters that have never been stepped. The
+// vector round-trips through SetVelocityVector, which is how elastic
+// checkpoints capture and restore optimizer state (the velocity is
+// identical across replicas, like the weights).
+func (s *SGD) VelocityVector(params []*nn.Param, dst []float32) []float32 {
+	for _, p := range params {
+		if v := s.velocity[p]; v != nil {
+			dst = append(dst, v.Data...)
+		} else {
+			dst = append(dst, make([]float32, p.W.Len())...)
+		}
+	}
+	return dst
+}
+
+// SetVelocityVector scatters a flat momentum vector (as produced by
+// VelocityVector) back into the optimizer state, allocating velocity
+// tensors for parameters that have none yet.
+func (s *SGD) SetVelocityVector(params []*nn.Param, src []float32) error {
+	total := 0
+	for _, p := range params {
+		total += p.W.Len()
+	}
+	if len(src) != total {
+		return fmt.Errorf("opt: velocity vector has %d values, model has %d", len(src), total)
+	}
+	if s.velocity == nil {
+		s.velocity = make(map[*nn.Param]*tensor.Tensor)
+	}
+	off := 0
+	for _, p := range params {
+		v := s.velocity[p]
+		if v == nil {
+			v = tensor.New(p.W.Shape...)
+			s.velocity[p] = v
+		}
+		copy(v.Data, src[off:off+p.W.Len()])
+		off += p.W.Len()
+	}
+	return nil
+}
+
 // StepSchedule divides the learning rate by Factor every Every iterations,
 // matching the paper's "LR reduction" hyperparameters (Table I), with an
 // optional linear warmup ramp (Goyal et al.'s large-batch recipe, used by

@@ -70,6 +70,13 @@ type Options struct {
 	// All nodes of a ring must use the same ChunkSize (it determines the
 	// per-step message framing). 0 keeps whole-block steps.
 	ChunkSize int
+
+	// TagOffset is added to every message tag of the exchange. The elastic
+	// layer (internal/elastic) sets it to the membership epoch's tag base
+	// so that a replayed exchange after a ring reconfiguration can never
+	// confuse its messages with stale in-flight traffic from the aborted
+	// attempt; a filtering receiver discards lower-epoch tags.
+	TagOffset int
 }
 
 // chunkSize returns the effective group-aligned chunk size, or 0 when
@@ -137,16 +144,49 @@ func AllReduce(e comm.Peer, grad []float32, tos uint8, finalize func([]float32))
 // context cancellation return errors instead of panicking, so a training
 // driver can retry, evict the failed node, or abort cleanly.
 func AllReduceCtx(ctx context.Context, e comm.CtxPeer, grad []float32, tos uint8, finalize func([]float32), opt Options) error {
-	n := e.N()
+	return AllReduceGroupCtx(ctx, e, nil, grad, tos, finalize, opt)
+}
+
+// AllReduceGroupCtx runs Algorithm 1 over an arbitrary member subset of
+// the fabric: members lists the participating fabric ids in ring order and
+// must include e.ID(). Every member must call it concurrently with the
+// same member list. A nil members slice means the full fabric in id order
+// (the classic AllReduceCtx). This is the primitive behind both the
+// hierarchical organizations (groups, leader rings) and elastic ring
+// reconfiguration, where survivors of a node failure rebuild the ring over
+// the (n−1)-member view and replay the step.
+func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad []float32, tos uint8, finalize func([]float32), opt Options) error {
+	id := e.ID()
+	var n, rank int
+	if members == nil {
+		n, rank = e.N(), id
+	} else {
+		n = len(members)
+		rank = -1
+		for i, m := range members {
+			if m == id {
+				rank = i
+				break
+			}
+		}
+		if rank < 0 {
+			return fmt.Errorf("ring: node %d is not in member list %v", id, members)
+		}
+	}
 	if n == 1 {
 		if finalize != nil {
 			finalize(grad)
 		}
 		return nil
 	}
-	id := e.ID()
-	right := (id + 1) % n
-	left := (id - 1 + n) % n
+	peer := func(r int) int {
+		if members == nil {
+			return r
+		}
+		return members[r]
+	}
+	right := peer((rank + 1) % n)
+	left := peer((rank - 1 + n) % n)
 
 	chunk := opt.chunkSize()
 
@@ -235,26 +275,28 @@ func AllReduceCtx(ctx context.Context, e comm.CtxPeer, grad []float32, tos uint8
 		return <-sendErr
 	}
 
-	// P1: aggregation of gradients (reduce-scatter).
+	// P1: aggregation of gradients (reduce-scatter). Block indices are
+	// functions of the node's rank within the member ring, not its fabric
+	// id, so a reconfigured (shrunken) ring repartitions cleanly.
 	for s := 1; s <= n-1; s++ {
-		sendBlk := ((id-s+1)%n + n) % n
-		recvBlk := ((id-s)%n + n) % n
-		if err := step(ctx, sendBlk, recvBlk, tagReduceScatter+s, true); err != nil {
+		sendBlk := ((rank-s+1)%n + n) % n
+		recvBlk := ((rank-s)%n + n) % n
+		if err := step(ctx, sendBlk, recvBlk, opt.TagOffset+tagReduceScatter+s, true); err != nil {
 			return err
 		}
 	}
 
 	if finalize != nil {
 		// The fully aggregated block this node owns after P1.
-		lo, hi := blockBounds(len(grad), n, (id+1)%n)
+		lo, hi := blockBounds(len(grad), n, (rank+1)%n)
 		finalize(grad[lo:hi])
 	}
 
 	// P2: propagation of the aggregated gradients (all-gather).
 	for s := 0; s <= n-2; s++ {
-		sendBlk := ((id+1-s)%n + n) % n
-		recvBlk := ((id-s)%n + n) % n
-		if err := step(ctx, sendBlk, recvBlk, tagAllGather+s, false); err != nil {
+		sendBlk := ((rank+1-s)%n + n) % n
+		recvBlk := ((rank-s)%n + n) % n
+		if err := step(ctx, sendBlk, recvBlk, opt.TagOffset+tagAllGather+s, false); err != nil {
 			return err
 		}
 	}
@@ -295,16 +337,33 @@ func WorkerExchangeCtx(ctx context.Context, e comm.CtxPeer, aggregator int, grad
 // workers lists worker node ids. update receives the summed gradient and
 // must return the weight vector to broadcast.
 func AggregateStep(e comm.Peer, workers []int, gradLen int, update func(sum []float32) []float32) {
-	if err := AggregateStepCtx(context.Background(), comm.AsCtxPeer(e), workers, gradLen, update); err != nil {
+	if err := AggregateStepCtx(context.Background(), comm.AsCtxPeer(e), workers, gradLen, update, Options{}); err != nil {
 		panic(fmt.Sprintf("ring: %v", err))
 	}
 }
 
-// AggregateStepCtx is the error-returning form of AggregateStep.
-func AggregateStepCtx(ctx context.Context, e comm.CtxPeer, workers []int, gradLen int, update func(sum []float32) []float32) error {
+// StepContext derives the per-operation deadline context from o: with a
+// StepTimeout each individual send/recv is bounded, so a single wedged
+// peer surfaces as a timeout error naming the hop instead of blocking the
+// collective until the caller cancels. Callers layering their own
+// point-to-point legs on the ring options (hierarchy, elastic) share it.
+func (o Options) StepContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if o.StepTimeout > 0 {
+		return context.WithTimeout(ctx, o.StepTimeout)
+	}
+	return ctx, func() {}
+}
+
+// AggregateStepCtx is the error-returning form of AggregateStep. With
+// opt.StepTimeout set, every per-worker gather and broadcast leg is
+// individually deadline-bounded: one wedged worker fails the step with an
+// error identifying it rather than hanging the aggregator.
+func AggregateStepCtx(ctx context.Context, e comm.CtxPeer, workers []int, gradLen int, update func(sum []float32) []float32, opt Options) error {
 	sum := make([]float32, gradLen)
 	for _, w := range workers {
-		g, err := e.RecvCtx(ctx, w, tagGradUp)
+		sctx, cancel := opt.StepContext(ctx)
+		g, err := e.RecvCtx(sctx, w, tagGradUp)
+		cancel()
 		if err != nil {
 			return fmt.Errorf("ring: aggregator gather from %d: %w", w, err)
 		}
@@ -318,7 +377,10 @@ func AggregateStepCtx(ctx context.Context, e comm.CtxPeer, workers []int, gradLe
 	weights := update(sum)
 	for _, w := range workers {
 		// Weights are never ToS-tagged: loss is intolerable on this leg.
-		if err := e.SendCtx(ctx, w, weights, 0, tagWeightsDn); err != nil {
+		sctx, cancel := opt.StepContext(ctx)
+		err := e.SendCtx(sctx, w, weights, 0, tagWeightsDn)
+		cancel()
+		if err != nil {
 			return fmt.Errorf("ring: aggregator broadcast to %d: %w", w, err)
 		}
 	}

@@ -1,0 +1,325 @@
+package train
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNoCheckpoint reports that a checkpoint directory holds no valid
+// checkpoint to resume from.
+var ErrNoCheckpoint = errors.New("train: no checkpoint found")
+
+// Run-level checkpoint format (little-endian):
+//
+//	u32 magic "INCK"
+//	u32 version (1)
+//	u32 universe, u32 epoch, u64 next iteration
+//	u32 member count, members
+//	u64 weights length, weights; u64 velocity length, velocity
+//	per member (view order): u64 loader cursor,
+//	                         u64 residual length, residual
+//	u32 CRC32-C of all preceding bytes
+//
+// Unlike an nn.Network checkpoint (one replica's weights), this captures
+// the whole elastic run: the membership view, every survivor's data-loader
+// cursor and error-feedback residual, and the shared weights/optimizer
+// state — everything needed to resume bit-identically.
+const (
+	runCkptMagic   = 0x494E434B
+	runCkptVersion = 1
+)
+
+// Checkpoint is a durable snapshot of an elastic training run at an
+// iteration boundary: iteration NextIter is the next to execute.
+type Checkpoint struct {
+	Universe int   // the fabric size the run started with
+	Epoch    int   // membership epoch at capture time
+	NextIter int   // first iteration the resumed run executes
+	Members  []int // live members (sorted fabric ids)
+
+	Weights  []float32 // shared model replica (identical across members)
+	Velocity []float32 // shared optimizer momentum state
+
+	Cursors   map[int]uint64    // per-member data-loader cursor
+	Residuals map[int][]float32 // per-member error-feedback residual (nil entries allowed)
+}
+
+func putF32s(out io.Writer, vals []float32) error {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(vals)))
+	if _, err := out.Write(n[:]); err != nil {
+		return err
+	}
+	raw := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	_, err := out.Write(raw)
+	return err
+}
+
+func getF32s(r io.Reader, limit int) ([]float32, error) {
+	var n [8]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint64(n[:])
+	if count > uint64(limit) {
+		return nil, fmt.Errorf("train: checkpoint vector of %d values exceeds limit %d", count, limit)
+	}
+	raw := make([]byte, 4*count)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return nil, err
+	}
+	vals := make([]float32, count)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return vals, nil
+}
+
+// Encode writes the checkpoint to w with a trailing CRC32-C.
+func (ck *Checkpoint) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	h := crc32.New(castagnoliRun)
+	out := io.MultiWriter(bw, h)
+	var b [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(b[:4], v)
+		_, err := out.Write(b[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(b[:], v)
+		_, err := out.Write(b[:])
+		return err
+	}
+	for _, v := range []uint32{runCkptMagic, runCkptVersion, uint32(ck.Universe), uint32(ck.Epoch)} {
+		if err := put32(v); err != nil {
+			return fmt.Errorf("train: encode checkpoint: %w", err)
+		}
+	}
+	if err := put64(uint64(ck.NextIter)); err != nil {
+		return fmt.Errorf("train: encode checkpoint: %w", err)
+	}
+	if err := put32(uint32(len(ck.Members))); err != nil {
+		return fmt.Errorf("train: encode checkpoint: %w", err)
+	}
+	for _, m := range ck.Members {
+		if err := put32(uint32(m)); err != nil {
+			return fmt.Errorf("train: encode checkpoint: %w", err)
+		}
+	}
+	if err := putF32s(out, ck.Weights); err != nil {
+		return fmt.Errorf("train: encode weights: %w", err)
+	}
+	if err := putF32s(out, ck.Velocity); err != nil {
+		return fmt.Errorf("train: encode velocity: %w", err)
+	}
+	for _, m := range ck.Members {
+		if err := put64(ck.Cursors[m]); err != nil {
+			return fmt.Errorf("train: encode cursor %d: %w", m, err)
+		}
+		if err := putF32s(out, ck.Residuals[m]); err != nil {
+			return fmt.Errorf("train: encode residual %d: %w", m, err)
+		}
+	}
+	binary.LittleEndian.PutUint32(b[:4], h.Sum32())
+	if _, err := bw.Write(b[:4]); err != nil {
+		return fmt.Errorf("train: encode checksum: %w", err)
+	}
+	return bw.Flush()
+}
+
+var castagnoliRun = crc32.MakeTable(crc32.Castagnoli)
+
+// maxCkptVector bounds any single vector in a checkpoint (2^28 float32s =
+// 1 GiB) so a corrupt length field cannot drive allocation.
+const maxCkptVector = 1 << 28
+
+// DecodeCheckpoint parses and CRC-verifies a checkpoint stream.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	br := bufio.NewReader(r)
+	h := crc32.New(castagnoliRun)
+	tr := io.TeeReader(br, h)
+	var b [8]byte
+	get32 := func() (uint32, error) {
+		_, err := io.ReadFull(tr, b[:4])
+		return binary.LittleEndian.Uint32(b[:4]), err
+	}
+	get64 := func() (uint64, error) {
+		_, err := io.ReadFull(tr, b[:])
+		return binary.LittleEndian.Uint64(b[:]), err
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	if magic != runCkptMagic {
+		return nil, fmt.Errorf("train: not a run checkpoint (bad magic %08x)", magic)
+	}
+	if v, err := get32(); err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	} else if v != runCkptVersion {
+		return nil, fmt.Errorf("train: unsupported run checkpoint version %d (this build reads version %d)", v, runCkptVersion)
+	}
+	ck := &Checkpoint{Cursors: make(map[int]uint64), Residuals: make(map[int][]float32)}
+	universe, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	epoch, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	next, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	nMembers, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint: %w", err)
+	}
+	if universe > 1<<20 || nMembers > universe || next > 1<<40 {
+		return nil, fmt.Errorf("train: implausible checkpoint header (universe %d, members %d, next iter %d)",
+			universe, nMembers, next)
+	}
+	ck.Universe, ck.Epoch, ck.NextIter = int(universe), int(epoch), int(next)
+	ck.Members = make([]int, nMembers)
+	for i := range ck.Members {
+		m, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("train: decode members: %w", err)
+		}
+		if m >= universe {
+			return nil, fmt.Errorf("train: checkpoint member %d outside universe %d", m, universe)
+		}
+		ck.Members[i] = int(m)
+	}
+	if ck.Weights, err = getF32s(tr, maxCkptVector); err != nil {
+		return nil, fmt.Errorf("train: decode weights: %w", err)
+	}
+	if ck.Velocity, err = getF32s(tr, maxCkptVector); err != nil {
+		return nil, fmt.Errorf("train: decode velocity: %w", err)
+	}
+	for _, m := range ck.Members {
+		cur, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("train: decode cursor %d: %w", m, err)
+		}
+		ck.Cursors[m] = cur
+		res, err := getF32s(tr, maxCkptVector)
+		if err != nil {
+			return nil, fmt.Errorf("train: decode residual %d: %w", m, err)
+		}
+		if len(res) > 0 {
+			ck.Residuals[m] = res
+		}
+	}
+	sum := h.Sum32()
+	// Read the stored checksum outside the tee so it does not hash itself.
+	if _, err := io.ReadFull(br, b[:4]); err != nil {
+		return nil, fmt.Errorf("train: decode checksum: %w", err)
+	}
+	if stored := binary.LittleEndian.Uint32(b[:4]); stored != sum {
+		return nil, fmt.Errorf("train: checkpoint checksum mismatch (stored %08x, computed %08x): corrupt or truncated", stored, sum)
+	}
+	return ck, nil
+}
+
+// ckptFileName names checkpoints so a lexical sort orders them by
+// (iteration, epoch) — zero-padded for the scan in LoadLatestCheckpoint.
+func ckptFileName(nextIter, epoch int) string {
+	return fmt.Sprintf("ckpt-%010d-e%04d.inck", nextIter, epoch)
+}
+
+// WriteFile atomically persists the checkpoint into dir: the stream is
+// written to a temp file, fsynced, and renamed into place, so a crash
+// mid-write can never leave a half-written checkpoint under the final
+// name (and the CRC catches torn sectors even if it somehow did).
+func (ck *Checkpoint) WriteFile(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("train: checkpoint dir: %w", err)
+	}
+	final := filepath.Join(dir, ckptFileName(ck.NextIter, ck.Epoch))
+	tmp, err := os.CreateTemp(dir, ".ckpt-*.tmp")
+	if err != nil {
+		return "", fmt.Errorf("train: checkpoint temp: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := ck.Encode(tmp); err != nil {
+		tmp.Close()
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("train: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("train: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return "", fmt.Errorf("train: checkpoint rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // make the rename durable; best-effort on exotic filesystems
+		d.Close()
+	}
+	return final, nil
+}
+
+// ReadCheckpointFile loads and verifies one checkpoint file.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck, err := DecodeCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return ck, nil
+}
+
+// LoadLatestCheckpoint scans dir for the newest valid checkpoint, skipping
+// corrupt or truncated files (an interrupted writer's leftovers) in favor
+// of older intact ones. Returns ErrNoCheckpoint when none qualifies.
+func LoadLatestCheckpoint(dir string) (*Checkpoint, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "", ErrNoCheckpoint
+		}
+		return nil, "", fmt.Errorf("train: scan checkpoint dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".inck") {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var lastErr error
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		ck, err := ReadCheckpointFile(path)
+		if err == nil {
+			return ck, path, nil
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("%w (newest candidate invalid: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return nil, "", ErrNoCheckpoint
+}

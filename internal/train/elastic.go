@@ -1,0 +1,586 @@
+// Elastic ring training: the run survives worker death. A failed exchange
+// triggers the membership protocol in internal/elastic — survivors abort
+// the in-flight step, agree on the shrunken ring, roll back to the last
+// iteration every survivor retains, and replay it from local snapshots
+// with the average renormalized to the live member count. Periodic and
+// on-failure checkpoints make the whole run durable and resumable.
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/data"
+	"inceptionn/internal/elastic"
+	"inceptionn/internal/fault"
+	"inceptionn/internal/ring"
+)
+
+// ErrInterrupted reports that a run stopped early on request (Options.Stop)
+// after the workers agreed on a halt iteration and wrote a final
+// checkpoint; resume with Options.Resume to continue it.
+var ErrInterrupted = errors.New("train: run interrupted; resume from checkpoint to continue")
+
+// errWorkerDone is an internal sentinel: the worker left the run without
+// failing it (it crashed and self-reported, or was evicted).
+var errWorkerDone = errors.New("train: worker left the membership")
+
+// elasticSnap is one retained iteration boundary. Snapshots are taken
+// right before each gradient exchange; because a ring exchange cannot
+// complete without every member engaging, survivors are at most one
+// iteration apart, so keeping two suffices to cover any replay point the
+// recovery protocol can pick.
+type elasticSnap struct {
+	iter        int
+	cursor      uint64    // loader position *before* this iteration's batch
+	weights     []float32 // pre-update
+	velocity    []float32 // pre-update
+	residualPre []float32 // error-feedback state before this iteration folded in
+	residual    []float32 // ... and after (what a replay must restore)
+	grad        []float32 // post-feedback local gradient, ready to exchange
+}
+
+// elasticWorker extends the fixed-topology worker with a seekable loader
+// and the replay snapshots.
+type elasticWorker struct {
+	*worker
+	sl    *data.StepLoader
+	snaps [2]*elasticSnap // [0] newest
+}
+
+func newElasticWorker(id int, build Builder, trainDS data.Dataset, o Options, ck *Checkpoint) (*elasticWorker, error) {
+	w := newWorker(id, build, trainDS, o)
+	// Shard by the full universe, not the live member count: survivor
+	// shards never change across evictions, so recovery and resume see
+	// identical sample streams. The rand-based loader is replaced with the
+	// counter-based one whose position is a serializable cursor.
+	shard := data.NewPartition(trainDS, id, o.Workers)
+	sl := data.NewStepLoader(shard, o.BatchPerNode, o.Seed+int64(1000+id))
+	w.loader = sl
+	ew := &elasticWorker{worker: w, sl: sl}
+	if ck != nil {
+		ew.net.SetWeightVector(ck.Weights)
+		if err := ew.sgd.SetVelocityVector(ew.net.Params(), ck.Velocity); err != nil {
+			return nil, err
+		}
+		sl.Seek(ck.Cursors[id])
+		if res := ck.Residuals[id]; res != nil {
+			if ew.residual == nil || len(res) != len(ew.residual) {
+				return nil, fmt.Errorf("train: checkpoint residual for worker %d does not match run options", id)
+			}
+			copy(ew.residual, res)
+		}
+	}
+	return ew, nil
+}
+
+// takeSnapshot records the state needed to replay iteration iter. A
+// snapshot for an iteration already on file (a replayed one) replaces it
+// in place, so the previous iteration — which a straggling survivor may
+// still force us back to — is never evicted early.
+func (w *elasticWorker) takeSnapshot(iter int, residualPre []float32) {
+	s := &elasticSnap{
+		iter:        iter,
+		cursor:      w.sl.Cursor() - 1, // Next() already advanced past iter's batch
+		weights:     w.net.WeightVector(nil),
+		velocity:    w.sgd.VelocityVector(w.net.Params(), nil),
+		residualPre: residualPre,
+		grad:        append([]float32(nil), w.grad...),
+	}
+	if w.residual != nil {
+		s.residual = append([]float32(nil), w.residual...)
+	}
+	if w.snaps[0] != nil && w.snaps[0].iter == iter {
+		w.snaps[0] = s
+		return
+	}
+	w.snaps[1], w.snaps[0] = w.snaps[0], s
+}
+
+// snapFor returns the retained snapshot for iter, or nil.
+func (w *elasticWorker) snapFor(iter int) *elasticSnap {
+	for _, s := range w.snaps {
+		if s != nil && s.iter == iter {
+			return s
+		}
+	}
+	return nil
+}
+
+// restoreSnapshot rewinds the worker to the pre-exchange state of iter:
+// weights, optimizer state, loader cursor (past iter's batch), the
+// post-feedback residual, and the retained local gradient, which the
+// replayed exchange reuses instead of recomputing.
+func (w *elasticWorker) restoreSnapshot(iter int) error {
+	s := w.snapFor(iter)
+	if s == nil {
+		return fmt.Errorf("train: worker %d has no snapshot for iteration %d (survivor skew exceeded the retained window)", w.id, iter)
+	}
+	w.net.SetWeightVector(s.weights)
+	if err := w.sgd.SetVelocityVector(w.net.Params(), s.velocity); err != nil {
+		return err
+	}
+	w.sl.Seek(s.cursor + 1)
+	w.grad = append(w.grad[:0], s.grad...)
+	if w.residual != nil && s.residual != nil {
+		copy(w.residual, s.residual)
+	}
+	return nil
+}
+
+// memberCkpt is one worker's contribution to a checkpoint gather.
+type memberCkpt struct {
+	cursor   uint64
+	residual []float32
+}
+
+// elasticRun is the shared state of one RunElastic invocation.
+type elasticRun struct {
+	o         Options
+	iters     int
+	startIter int
+	coord     *elastic.Coordinator
+	fabric    *comm.Fabric
+	testDS    data.Dataset
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	evals   map[int]EvalPoint // keyed by iter; replays overwrite
+	weights map[int][]float32
+	final   map[int][2]float64 // leader's final (acc, loss)
+}
+
+func (r *elasticRun) recordEval(p EvalPoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evals[p.Iter] = p
+}
+
+func (r *elasticRun) storeWeights(id int, w []float32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.weights[id] = w
+}
+
+func (r *elasticRun) storeFinal(id int, acc, loss float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.final[id] = [2]float64{acc, loss}
+}
+
+// RunElastic trains like runRing but survives worker death and supports
+// durable checkpoint/resume. It requires the ring algorithm: the exchange
+// must be rebuildable over an arbitrary member subset, which
+// ring.AllReduceGroupCtx provides. On a graceful stop (Options.Stop) it
+// returns the partial result and ErrInterrupted.
+func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	if o.Workers < 1 {
+		return Result{}, fmt.Errorf("train: %d workers", o.Workers)
+	}
+	if o.BatchPerNode < 1 {
+		return Result{}, fmt.Errorf("train: batch per node %d", o.BatchPerNode)
+	}
+	if o.Algo != Ring {
+		return Result{}, fmt.Errorf("train: elastic training requires the ring algorithm (got %s)", o.Algo)
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	if o.RecoveryWait <= 0 {
+		o.RecoveryWait = 5 * time.Second
+	}
+
+	var ck *Checkpoint
+	if o.Resume {
+		if o.CheckpointDir == "" {
+			return Result{}, fmt.Errorf("train: Resume requires CheckpointDir")
+		}
+		loaded, _, err := LoadLatestCheckpoint(o.CheckpointDir)
+		switch {
+		case err == nil:
+			ck = loaded
+		case errors.Is(err, ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return Result{}, err
+		}
+	}
+	numParams := build(rand.New(rand.NewSource(o.Seed))).NumParams()
+	if ck != nil {
+		if ck.Universe != o.Workers {
+			return Result{}, fmt.Errorf("train: checkpoint universe %d, run has %d workers", ck.Universe, o.Workers)
+		}
+		if len(ck.Weights) != numParams {
+			return Result{}, fmt.Errorf("train: checkpoint has %d weights, model has %d", len(ck.Weights), numParams)
+		}
+		if ck.NextIter > iters {
+			return Result{}, fmt.Errorf("train: checkpoint is at iteration %d, past the requested %d", ck.NextIter, iters)
+		}
+		if len(ck.Members) == 0 {
+			return Result{}, fmt.Errorf("train: checkpoint has no live members")
+		}
+	}
+
+	fabric := comm.NewFabric(o.Workers, o.Processor)
+	coord := elastic.NewCoordinator(o.Workers, elastic.Config{SuspectAfter: o.SuspectAfter})
+	defer coord.Close()
+	if o.SuspectAfter > 0 {
+		coord.WatchFabric(fabric)
+	}
+	var inj *fault.Injector
+	if o.Chaos != nil {
+		inj = fault.NewInjector(o.Workers, *o.Chaos)
+	}
+
+	r := &elasticRun{
+		o: o, iters: iters, coord: coord, fabric: fabric, testDS: testDS,
+		evals:   make(map[int]EvalPoint),
+		weights: make(map[int][]float32),
+		final:   make(map[int][2]float64),
+	}
+	if ck != nil {
+		r.startIter = ck.NextIter
+		// Re-declare the checkpoint's dead so the resumed view has the same
+		// members (the epoch number may differ; tags only matter within one
+		// process lifetime).
+		for id := 0; id < o.Workers; id++ {
+			if !ck.contains(id) {
+				coord.ReportDead(id, fmt.Errorf("train: node %d was dead at checkpoint (epoch %d)", id, ck.Epoch))
+			}
+		}
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	defer r.cancel()
+
+	view := coord.View()
+	errs := make([]error, o.Workers)
+	var wg sync.WaitGroup
+	for _, id := range view.Members {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			err := r.worker(id, build, trainDS, ck, inj)
+			if errors.Is(err, errWorkerDone) {
+				err = nil
+			}
+			errs[id] = err
+			if err != nil && !errors.Is(err, ErrInterrupted) {
+				r.cancel() // a real fault: unblock the siblings
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	interrupted := false
+	var hard []error
+	for _, err := range errs {
+		if errors.Is(err, ErrInterrupted) {
+			interrupted = true
+			continue
+		}
+		hard = append(hard, err)
+	}
+	if err := firstError(hard); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	r.mu.Lock()
+	iterKeys := make([]int, 0, len(r.evals))
+	for it := range r.evals {
+		iterKeys = append(iterKeys, it)
+	}
+	sort.Ints(iterKeys)
+	for _, it := range iterKeys {
+		res.Evals = append(res.Evals, r.evals[it])
+	}
+	lead := coord.View().Leader()
+	res.FinalWeights = r.weights[lead]
+	if fl, ok := r.final[lead]; ok {
+		res.FinalAcc, res.FinalLoss = fl[0], fl[1]
+	}
+	r.mu.Unlock()
+	res.RawBytes = fabric.TotalRawBytes()
+	res.WireBytes = fabric.TotalWireBytes()
+	if interrupted {
+		return res, ErrInterrupted
+	}
+	return res, nil
+}
+
+func (ck *Checkpoint) contains(id int) bool {
+	for _, m := range ck.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is one elastic training goroutine. It returns nil on normal
+// completion, errWorkerDone if it crashed (self-reported) or was evicted,
+// ErrInterrupted on a graceful stop, and a hard error otherwise.
+func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Checkpoint, inj *fault.Injector) error {
+	o := r.o
+	w, err := newElasticWorker(id, build, trainDS, o, ck)
+	if err != nil {
+		return err
+	}
+	var tp elastic.Transport = r.fabric.Endpoint(id)
+	if inj != nil {
+		fp := fault.Wrap(r.fabric.Endpoint(id), inj, fault.Options{})
+		defer fp.Close()
+		tp = fp
+	}
+	peer := elastic.NewPeer(tp)
+
+	iter := r.startIter
+	pending := false   // a snapshot for iter exists and its exchange has not committed
+	recovered := false // last committed iteration was a post-recovery replay
+	myEpoch := r.coord.View().Epoch
+	for iter < r.iters {
+		if err := r.ctx.Err(); err != nil {
+			return err // a sibling hit a hard fault
+		}
+		// Graceful stop: agree on a halt boundary no member has exchanged
+		// yet, so everyone stops with identical weights.
+		if o.Stop != nil {
+			select {
+			case <-o.Stop:
+				r.coord.ProposeHalt(iter)
+			default:
+			}
+		}
+		if h := r.coord.HaltIter(); h >= 0 && iter >= h {
+			return r.halt(w, id, iter, pending)
+		}
+		r.coord.Beat(id)
+		view := r.coord.View()
+		if !view.Contains(id) {
+			return errWorkerDone
+		}
+		if view.Epoch != myEpoch {
+			// The membership moved while this worker was between exchanges:
+			// it must rendezvous before emitting any new-epoch traffic.
+			iter, pending, view, err = r.rendezvous(w, id, iter, pending)
+			if err != nil {
+				return err
+			}
+			myEpoch = view.Epoch
+			recovered = true
+			continue
+		}
+		if !pending {
+			w.localGradient()
+			if o.LocalGradTransform != nil {
+				o.LocalGradTransform(w.grad)
+			}
+			var residualPre []float32
+			if w.residual != nil {
+				residualPre = append([]float32(nil), w.residual...)
+			}
+			w.applyErrorFeedback(o)
+			if id == view.Leader() && o.GradHook != nil {
+				o.GradHook(iter, w.grad)
+			}
+			w.takeSnapshot(iter, residualPre)
+			pending = true
+		}
+
+		// The exchange runs under the epoch context: a death declaration
+		// cancels it on every survivor at once.
+		exCtx, exCancel := context.WithCancel(r.ctx)
+		stopLink := context.AfterFunc(r.coord.EpochContext(view.Epoch), exCancel)
+		ropt := ring.Options{
+			StepTimeout: o.StepTimeout,
+			ChunkSize:   o.ChunkSize,
+			TagOffset:   elastic.TagBase(view.Epoch),
+		}
+		exErr := ring.AllReduceGroupCtx(exCtx, peer, view.Members, w.grad, o.gradTos(), o.finalizer(), ropt)
+		stopLink()
+		exCancel()
+
+		if exErr != nil && errors.Is(exErr, fault.ErrCrashed) {
+			// This node is the casualty: its own transport refuses service.
+			// Self-report (a real process would exit and drop its lease) and
+			// leave; the survivors reconfigure around us.
+			r.coord.ReportDead(id, exErr)
+			return errWorkerDone
+		}
+		cur := r.coord.View()
+		if exErr == nil && cur.Epoch == view.Epoch {
+			// Committed. Renormalize by the members that contributed.
+			w.applyAveraged(iter, w.grad, o, len(view.Members))
+			pending = false
+			if id == view.Leader() && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == r.iters-1) {
+				acc, loss := evaluate(w.net, r.testDS, o.EvalSamples)
+				r.recordEval(EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+			}
+			iter++
+			if o.CheckpointDir != "" && iter < r.iters &&
+				(recovered || (o.CheckpointEvery > 0 && (iter-r.startIter)%o.CheckpointEvery == 0)) {
+				if err := r.checkpoint(w, id, iter, w.sl.Cursor(), w.residual); err != nil {
+					return err
+				}
+				recovered = false
+			}
+			continue
+		}
+		if cur.Epoch == view.Epoch {
+			// The exchange failed but nobody has been declared dead yet.
+			// Surface the evidence and wait (bounded) for a verdict: either
+			// the epoch advances and recovery proceeds, or the fault was not
+			// a membership event and it stands as the run's error.
+			r.coord.ReportAnomaly(id, exErr)
+			wctx, wcancel := context.WithTimeout(r.ctx, o.RecoveryWait)
+			_, werr := r.coord.AwaitEpoch(wctx, view.Epoch)
+			wcancel()
+			if werr != nil {
+				return fmt.Errorf("train: worker %d iter %d: %w", id, iter, exErr)
+			}
+		}
+		iter, pending, cur, err = r.rendezvous(w, id, iter, pending)
+		if err != nil {
+			return err
+		}
+		myEpoch = cur.Epoch
+		recovered = true
+	}
+
+	// Natural completion: all survivors arrive here in lockstep.
+	r.coord.Beat(id)
+	if o.CheckpointDir != "" {
+		if err := r.checkpoint(w, id, r.iters, w.sl.Cursor(), w.residual); err != nil {
+			return err
+		}
+	}
+	r.storeWeights(id, w.net.WeightVector(nil))
+	if id == r.coord.View().Leader() {
+		acc, loss := evaluate(w.net, r.testDS, o.EvalSamples)
+		r.storeFinal(id, acc, loss)
+	}
+	return nil
+}
+
+// rendezvous runs the recovery protocol after a membership change: all
+// survivors meet at an epoch-scoped barrier, exchange their current
+// iterations, and roll back to the minimum — the newest iteration every
+// survivor can still replay. The barrier doubles as the guarantee that no
+// survivor emits new-epoch traffic before everyone abandoned the old
+// epoch, so the only foreign frames a replay can meet are stale ones,
+// which the epoch-filtering peer discards.
+func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending bool) (int, bool, elastic.View, error) {
+	for {
+		r.coord.Beat(id)
+		cur := r.coord.View()
+		if !cur.Contains(id) {
+			return 0, false, cur, errWorkerDone
+		}
+		vals, err := r.coord.Gather(r.ctx, id, cur.Epoch, fmt.Sprintf("recover@%d", cur.Epoch), iter)
+		if errors.Is(err, elastic.ErrEpochChanged) {
+			continue // another death while gathering: redo under the new view
+		}
+		if errors.Is(err, elastic.ErrEvicted) {
+			return 0, false, cur, errWorkerDone
+		}
+		if err != nil {
+			return 0, false, cur, fmt.Errorf("train: worker %d recovery rendezvous: %w", id, err)
+		}
+		replay := elastic.MinIter(vals)
+		switch {
+		case replay < iter:
+			// A survivor aborted mid-exchange of replay; everyone rolls back.
+			if err := w.restoreSnapshot(replay); err != nil {
+				return 0, false, cur, err
+			}
+			return replay, true, cur, nil
+		case pending:
+			// Common iteration, but this worker's gradient buffer is dirty
+			// from the aborted exchange: restore the pristine snapshot.
+			if err := w.restoreSnapshot(iter); err != nil {
+				return 0, false, cur, err
+			}
+			return iter, true, cur, nil
+		default:
+			// Nothing in flight (the death landed between exchanges).
+			return iter, false, cur, nil
+		}
+	}
+}
+
+// halt finishes a graceful stop at the agreed boundary: write the final
+// checkpoint (NextIter = the halt iteration) and report ErrInterrupted.
+func (r *elasticRun) halt(w *elasticWorker, id, iter int, pending bool) error {
+	if r.o.CheckpointDir != "" {
+		residual := w.residual
+		if pending {
+			// The halt landed between this iteration's feedback fold and its
+			// exchange: checkpoint the pre-fold residual so the resumed run
+			// replays the fold itself.
+			if s := w.snapFor(iter); s != nil {
+				residual = s.residualPre
+			}
+		}
+		if err := r.checkpoint(w, id, iter, uint64(iter), residual); err != nil {
+			return err
+		}
+	}
+	r.storeWeights(id, w.net.WeightVector(nil))
+	return ErrInterrupted
+}
+
+// checkpoint assembles one durable snapshot: every live member contributes
+// its loader cursor and residual through an epoch-scoped gather, and the
+// view's leader writes the file (weights and optimizer state are identical
+// across members, so its own copies serve). A membership change mid-gather
+// skips this checkpoint — the post-recovery one supersedes it.
+func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint64, residual []float32) error {
+	view := r.coord.View()
+	if !view.Contains(id) {
+		return nil
+	}
+	contrib := memberCkpt{cursor: cursor}
+	if residual != nil {
+		contrib.residual = append([]float32(nil), residual...)
+	}
+	key := fmt.Sprintf("ckpt@e%d@i%d", view.Epoch, nextIter)
+	vals, err := r.coord.Gather(r.ctx, id, view.Epoch, key, contrib)
+	if err != nil {
+		if errors.Is(err, elastic.ErrEpochChanged) || errors.Is(err, elastic.ErrEvicted) {
+			return nil
+		}
+		return fmt.Errorf("train: worker %d checkpoint gather: %w", id, err)
+	}
+	if id != view.Leader() {
+		return nil
+	}
+	ck := &Checkpoint{
+		Universe:  r.o.Workers,
+		Epoch:     view.Epoch,
+		NextIter:  nextIter,
+		Members:   view.Members,
+		Weights:   w.net.WeightVector(nil),
+		Velocity:  w.sgd.VelocityVector(w.net.Params(), nil),
+		Cursors:   make(map[int]uint64, len(vals)),
+		Residuals: make(map[int][]float32, len(vals)),
+	}
+	for m, v := range vals {
+		mc := v.(memberCkpt)
+		ck.Cursors[m] = mc.cursor
+		if mc.residual != nil {
+			ck.Residuals[m] = mc.residual
+		}
+	}
+	if _, err := ck.WriteFile(r.o.CheckpointDir); err != nil {
+		return err
+	}
+	return nil
+}

@@ -102,7 +102,7 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 					cancel() // unblock the other workers' ring steps
 					return
 				}
-				w.applyAveraged(iter, w.grad, o)
+				w.applyAveraged(iter, w.grad, o, o.Workers)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})

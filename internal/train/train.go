@@ -107,6 +107,30 @@ type Options struct {
 	// unrecoverable ones surface as errors from RunRingTCP.
 	Chaos *fault.Config
 
+	// SuspectAfter enables RunElastic's heartbeat failure detector: a
+	// worker silent for this long (after its first heartbeat) is declared
+	// dead and evicted from the ring. 0 disables the detector — crashes
+	// are then detected only by transport self-reports.
+	SuspectAfter time.Duration
+	// RecoveryWait bounds how long an elastic worker whose exchange
+	// failed waits for a membership verdict before treating the fault as
+	// fatal (nobody died; the error stands). Default 5s.
+	RecoveryWait time.Duration
+	// CheckpointDir, when non-empty, enables durable checkpoint/resume
+	// for RunElastic: atomic, CRC-checked snapshots of weights, optimizer
+	// state, error-feedback residuals, and data-loader cursors.
+	CheckpointDir string
+	// CheckpointEvery writes a periodic checkpoint every that many
+	// iterations (0 = only after recoveries, on Stop, and at completion).
+	CheckpointEvery int
+	// Resume makes RunElastic restore the newest valid checkpoint in
+	// CheckpointDir before training (fresh start if none exists).
+	Resume bool
+	// Stop, when non-nil, drains RunElastic gracefully once closed: the
+	// workers agree on a common halt iteration, write a final checkpoint,
+	// and the run returns ErrInterrupted.
+	Stop <-chan struct{}
+
 	// ErrorFeedback enables residual error feedback on the lossy codec
 	// (Seide et al.'s 1-bit SGD technique, cited by the paper as [25]):
 	// each worker adds the previous iteration's compression error to its
@@ -212,12 +236,18 @@ func (o Options) finalizer() func([]float32) {
 	}
 }
 
+// batchSource abstracts the minibatch stream: data.Loader for the fixed
+// runners, data.StepLoader (seekable) for the elastic runner.
+type batchSource interface {
+	Next() data.Batch
+}
+
 // worker is the per-node training state.
 type worker struct {
 	id       int
 	net      *nn.Network
 	sgd      *opt.SGD
-	loader   *data.Loader
+	loader   batchSource
 	grad     []float32
 	residual []float32 // error-feedback state (nil unless enabled)
 }
@@ -272,10 +302,13 @@ func (w *worker) localGradient() float64 {
 	return loss
 }
 
-// applyAveraged applies the summed gradient (divided by worker count) via
-// the local optimizer and runs the optional weight transform.
-func (w *worker) applyAveraged(iter int, summed []float32, o Options) {
-	inv := float32(1) / float32(o.Workers)
+// applyAveraged applies the summed gradient (divided by n, the number of
+// replicas that contributed) via the local optimizer and runs the optional
+// weight transform. The fixed runners always pass o.Workers; the elastic
+// runner passes the live member count, renormalizing the average after an
+// eviction.
+func (w *worker) applyAveraged(iter int, summed []float32, o Options, n int) {
+	inv := float32(1) / float32(n)
 	for i := range summed {
 		summed[i] *= inv
 	}
@@ -353,7 +386,7 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 					cancel() // unblock the other workers' ring steps
 					return
 				}
-				w.applyAveraged(iter, w.grad, o)
+				w.applyAveraged(iter, w.grad, o, o.Workers)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -415,7 +448,7 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 					net.SetWeightVector(wv)
 				}
 				return wv
-			})
+			}, o.ringOptions())
 			if err != nil {
 				errs[aggID] = fmt.Errorf("train: aggregator iter %d: %w", iter, err)
 				cancel()
@@ -492,7 +525,7 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 			aggID := topo.AggregatorID()
 			e := comm.AsCtxPeer(fabric.Endpoint(aggID))
 			for iter := 0; iter < iters; iter++ {
-				if err := hierarchy.RunAggregatorCtx(ctx, topo, e, gradLen); err != nil {
+				if err := hierarchy.RunAggregatorCtx(ctx, topo, e, gradLen, o.ringOptions()); err != nil {
 					errs[aggID] = fmt.Errorf("train: aggregator iter %d: %w", iter, err)
 					cancel()
 					return
@@ -516,12 +549,12 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				if err := hierarchy.AllReduceCtx(ctx, topo, e, w.grad, o.gradTos(), o.finalizer()); err != nil {
+				if err := hierarchy.AllReduceCtx(ctx, topo, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions()); err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel()
 					return
 				}
-				w.applyAveraged(iter, w.grad, o)
+				w.applyAveraged(iter, w.grad, o, o.Workers)
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -597,7 +630,7 @@ func ReplicaWeights(build Builder, trainDS data.Dataset, iters int, o Options) (
 					cancel()
 					return
 				}
-				w.applyAveraged(iter, w.grad, o)
+				w.applyAveraged(iter, w.grad, o, o.Workers)
 			}
 			out[id] = w.net.WeightVector(nil)
 		}(id)
