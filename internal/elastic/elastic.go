@@ -97,6 +97,13 @@ type Config struct {
 	// SuspectAfter declares a node dead when it has not Beat for this
 	// long (after beating at least once). 0 disables the heartbeat
 	// detector; deaths then come only from ReportDead.
+	//
+	// Coordination waits (Gather, AwaitEpoch) heartbeat automatically on
+	// the caller's behalf, but compute phases and the ring exchange do
+	// not: workers beat only at iteration boundaries while training.
+	// SuspectAfter must therefore exceed the worst-case local-gradient +
+	// exchange + evaluation latency of one iteration, or healthy members
+	// are spuriously evicted.
 	SuspectAfter time.Duration
 	// ScanEvery is the detector's polling period. Defaults to
 	// SuspectAfter/4 (minimum 1ms) when zero.
@@ -172,14 +179,7 @@ func NewCoordinator(n int, cfg Config) *Coordinator {
 		done:        make(chan struct{}),
 	}
 	if cfg.SuspectAfter > 0 {
-		scan := cfg.ScanEvery
-		if scan <= 0 {
-			scan = cfg.SuspectAfter / 4
-			if scan < time.Millisecond {
-				scan = time.Millisecond
-			}
-		}
-		go c.detect(scan)
+		go c.detect(c.beatEvery())
 	} else {
 		close(c.done)
 	}
@@ -217,10 +217,12 @@ func (c *Coordinator) View() View {
 }
 
 // EpochContext returns a context that is cancelled the moment the given
-// epoch is superseded (or the coordinator closes). Running a collective
-// under it turns a membership change into immediate cancellation of the
-// in-flight step on every survivor. A stale epoch yields an
-// already-cancelled context.
+// epoch is superseded by a death (or the coordinator closes). Running a
+// collective under it turns an eviction into immediate cancellation of
+// the in-flight step on every survivor. A graceful departure (Depart)
+// advances the epoch without cancelling: the departed worker owes no
+// further traffic, so in-flight collectives of the superseded epoch can
+// still complete. A stale epoch yields an already-cancelled context.
 func (c *Coordinator) EpochContext(epoch int) context.Context {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -235,6 +237,21 @@ var canceledCtx = func() context.Context {
 	cancel()
 	return ctx
 }()
+
+// beatEvery is the shared cadence for the detector's staleness scan and
+// for the automatic heartbeats emitted while a member is blocked inside
+// Gather or AwaitEpoch: ScanEvery, defaulting to SuspectAfter/4 with a
+// 1ms floor. cfg is immutable after construction, so no lock is needed.
+func (c *Coordinator) beatEvery() time.Duration {
+	every := c.cfg.ScanEvery
+	if every <= 0 {
+		every = c.cfg.SuspectAfter / 4
+		if every < time.Millisecond {
+			every = time.Millisecond
+		}
+	}
+	return every
+}
 
 // Beat records a liveness heartbeat from id. Workers call it at every
 // iteration boundary and while waiting in recovery.
@@ -265,6 +282,40 @@ func (c *Coordinator) declareDeadLocked(id int, cause error) {
 		cause = errors.New("elastic: declared dead")
 	}
 	c.dead[id] = cause
+	// A death dooms the superseded epoch's in-flight collectives — the
+	// dead node will never send the frames they are waiting on — so cancel
+	// the epoch context before publishing the new view.
+	c.epochCancel()
+	c.epochCtx, c.epochCancel = context.WithCancel(context.Background())
+	c.removeLocked(id)
+}
+
+// Depart removes id from the membership on graceful completion: a worker
+// that finished (or halted) its run leaves the view so the remaining
+// members never block on it again. Like an eviction it advances the
+// epoch and fails pending gathers with ErrEpochChanged — a survivor still
+// mid-rendezvous re-resolves against the shrunken view instead of waiting
+// forever on the exited worker. Unlike an eviction it records no death
+// cause and does NOT cancel the superseded epoch's context: a departed
+// worker has already fulfilled all its exchange obligations (its frames
+// sit buffered in the fabric), so siblings' in-flight collectives can
+// still run to completion. Departing an unknown or already-removed node
+// is a no-op.
+func (c *Coordinator) Depart(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || !c.view.Contains(id) {
+		return
+	}
+	c.removeLocked(id)
+}
+
+// removeLocked drops id from the view and publishes the new epoch: the
+// superseded epoch's pending gathers fail with ErrEpochChanged, so every
+// remaining member restarts its barrier protocol under the new view.
+// Cancelling the superseded epoch context is the caller's decision (death
+// yes, departure no).
+func (c *Coordinator) removeLocked(id int) {
 	members := make([]int, 0, len(c.view.Members)-1)
 	for _, m := range c.view.Members {
 		if m != id {
@@ -273,10 +324,6 @@ func (c *Coordinator) declareDeadLocked(id int, cause error) {
 	}
 	sort.Ints(members)
 	c.view = View{Epoch: c.view.Epoch + 1, Members: members}
-	// Abort the superseded epoch's in-flight collectives and fail its
-	// pending gathers; survivors re-rendezvous under the new epoch.
-	c.epochCancel()
-	c.epochCtx, c.epochCancel = context.WithCancel(context.Background())
 	for k, g := range c.gathers {
 		g.err = ErrEpochChanged
 		close(g.done)
@@ -434,8 +481,16 @@ func (c *Coordinator) HaltIter() int {
 // how a survivor that aborted an exchange on soft evidence waits for the
 // verdict: either someone is declared dead (view advances, recovery
 // proceeds) or nobody is and the caller's deadline fires (the fault was
-// not a membership event — escalate).
-func (c *Coordinator) AwaitEpoch(ctx context.Context, after int) (View, error) {
+// not a membership event — escalate). id is the calling member, beaten
+// periodically while it waits so the detector does not mistake the wait
+// for death; an outside observer passes a negative id.
+func (c *Coordinator) AwaitEpoch(ctx context.Context, id, after int) (View, error) {
+	var beat <-chan time.Time
+	if c.cfg.SuspectAfter > 0 && id >= 0 {
+		t := time.NewTicker(c.beatEvery())
+		defer t.Stop()
+		beat = t.C
+	}
 	for {
 		c.mu.Lock()
 		if c.view.Epoch > after {
@@ -451,6 +506,8 @@ func (c *Coordinator) AwaitEpoch(ctx context.Context, after int) (View, error) {
 		c.mu.Unlock()
 		select {
 		case <-ch:
+		case <-beat:
+			c.Beat(id)
 		case <-ctx.Done():
 			return View{}, ctx.Err()
 		}
@@ -496,14 +553,26 @@ func (c *Coordinator) Gather(ctx context.Context, id, epoch int, key string, val
 	}
 	c.mu.Unlock()
 
-	select {
-	case <-g.done:
-		if g.err != nil {
-			return nil, g.err
+	// Keep beating while blocked at the barrier: a member waiting on a
+	// straggling sibling must not look dead to the staleness detector.
+	var beat <-chan time.Time
+	if c.cfg.SuspectAfter > 0 {
+		t := time.NewTicker(c.beatEvery())
+		defer t.Stop()
+		beat = t.C
+	}
+	for {
+		select {
+		case <-g.done:
+			if g.err != nil {
+				return nil, g.err
+			}
+			return g.values, nil
+		case <-beat:
+			c.Beat(id)
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
-		return g.values, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
 	}
 }
 

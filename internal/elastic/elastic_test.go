@@ -91,7 +91,7 @@ func TestHeartbeatDetectorEvictsSilentNode(t *testing.T) {
 		}(id)
 	}
 
-	v, err := c.AwaitEpoch(ctx, 0)
+	v, err := c.AwaitEpoch(ctx, -1, 0)
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -112,6 +112,112 @@ func TestDetectorIgnoresUnstartedNodes(t *testing.T) {
 	time.Sleep(80 * time.Millisecond)
 	if v := c.View(); v.Epoch != 0 {
 		t.Fatalf("unstarted nodes evicted: view %+v", v)
+	}
+}
+
+// TestDepartAdvancesEpochWithoutKillingExchanges covers the graceful-exit
+// half of reconfiguration: a departure must unblock members waiting at a
+// barrier (epoch bump + ErrEpochChanged) exactly like an eviction, but —
+// unlike an eviction — must neither record a death cause nor cancel the
+// superseded epoch context, because a departed member owes no further
+// traffic and siblings' in-flight collectives can still complete.
+func TestDepartAdvancesEpochWithoutKillingExchanges(t *testing.T) {
+	c := NewCoordinator(3, Config{})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	ctx0 := c.EpochContext(0)
+	got := make(chan error, 2)
+	for _, id := range []int{0, 1} {
+		go func(id int) {
+			_, err := c.Gather(ctx, id, 0, "recover", id)
+			got <- err
+		}(id)
+	}
+	time.Sleep(10 * time.Millisecond)
+	c.Depart(2) // node 2 finished its run and leaves
+	for i := 0; i < 2; i++ {
+		if err := <-got; !errors.Is(err, ErrEpochChanged) {
+			t.Fatalf("gather error after departure = %v, want ErrEpochChanged", err)
+		}
+	}
+	v := c.View()
+	if v.Epoch != 1 || v.Contains(2) || len(v.Members) != 2 {
+		t.Fatalf("view after departure = %+v", v)
+	}
+	if cause := c.DeathCause(2); cause != nil {
+		t.Fatalf("departure recorded a death cause: %v", cause)
+	}
+	if ctx0.Err() != nil {
+		t.Fatal("departure cancelled the epoch-0 context; in-flight exchanges would abort")
+	}
+	// The survivors re-rendezvous under the shrunken view.
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i, id := range []int{0, 1} {
+		wg.Add(1)
+		go func(i, id int) {
+			defer wg.Done()
+			_, errs[i] = c.Gather(ctx, id, 1, "recover", id)
+		}(i, id)
+	}
+	wg.Wait()
+	if errs[0] != nil || errs[1] != nil {
+		t.Fatalf("post-departure gather: %v %v", errs[0], errs[1])
+	}
+	// A death, by contrast, still cancels promptly.
+	c.ReportDead(1, errors.New("boom"))
+	if ctx0.Err() == nil {
+		t.Fatal("eviction did not cancel the live epoch context")
+	}
+	// Departing the last member empties the view.
+	c.Depart(0)
+	if v := c.View(); len(v.Members) != 0 || v.Leader() != -1 {
+		t.Fatalf("view after all departures = %+v", v)
+	}
+	// Departing an unknown or already-gone node is a no-op.
+	before := c.View().Epoch
+	c.Depart(0)
+	c.Depart(7)
+	if got := c.View().Epoch; got != before {
+		t.Fatalf("no-op departure advanced the epoch: %d -> %d", before, got)
+	}
+}
+
+// TestGatherBeatsWhileBlocked pins the liveness contract of the barrier
+// primitives: a member parked inside Gather far longer than SuspectAfter
+// must keep heartbeating on its own behalf, or the detector would evict
+// healthy members whenever a checkpoint or recovery barrier outlasts the
+// staleness limit (and, since barriers block everyone, cascade).
+func TestGatherBeatsWhileBlocked(t *testing.T) {
+	c := NewCoordinator(2, Config{SuspectAfter: 40 * time.Millisecond, ScanEvery: 4 * time.Millisecond})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	c.Beat(0)
+	c.Beat(1)
+	res := make(chan error, 1)
+	go func() {
+		_, err := c.Gather(ctx, 0, 0, "ckpt", nil)
+		res <- err
+	}()
+	// Node 1 stays healthy (beating) but takes 5x SuspectAfter to reach
+	// the barrier; node 0 is blocked inside Gather the whole time.
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		c.Beat(1)
+		time.Sleep(4 * time.Millisecond)
+	}
+	if _, err := c.Gather(ctx, 1, 0, "ckpt", nil); err != nil {
+		t.Fatalf("late member's gather: %v", err)
+	}
+	if err := <-res; err != nil {
+		t.Fatalf("blocked member's gather: %v (evicted while waiting?)", err)
+	}
+	if v := c.View(); v.Epoch != 0 {
+		t.Fatalf("epoch advanced to %d: a blocked-but-live member was evicted", v.Epoch)
 	}
 }
 
@@ -201,7 +307,7 @@ func TestWatchErrorsClassifiesEvidence(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	v, err := c.AwaitEpoch(ctx, 0)
+	v, err := c.AwaitEpoch(ctx, -1, 0)
 	if err != nil {
 		t.Fatalf("AwaitEpoch: %v", err)
 	}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -302,7 +303,30 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	for _, it := range iterKeys {
 		res.Evals = append(res.Evals, r.evals[it])
 	}
-	lead := coord.View().Leader()
+	// Completed workers depart the membership, so the final view may be
+	// empty: the result leader is the lowest id that actually finished and
+	// stored weights (completion order mirrors view leadership — the
+	// lowest live id runs the evaluations).
+	lead := -1
+	for id := range r.weights {
+		if lead < 0 || id < lead {
+			lead = id
+		}
+	}
+	if lead < 0 {
+		r.mu.Unlock()
+		var causes []string
+		for id := 0; id < o.Workers; id++ {
+			if c := coord.DeathCause(id); c != nil {
+				causes = append(causes, fmt.Sprintf("node %d: %v", id, c))
+			}
+		}
+		detail := "no death evidence recorded"
+		if len(causes) > 0 {
+			detail = strings.Join(causes, "; ")
+		}
+		return Result{}, fmt.Errorf("train: no member completed the run (%s)", detail)
+	}
 	res.FinalWeights = r.weights[lead]
 	if fl, ok := r.final[lead]; ok {
 		res.FinalAcc, res.FinalLoss = fl[0], fl[1]
@@ -345,7 +369,12 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	iter := r.startIter
 	pending := false   // a snapshot for iter exists and its exchange has not committed
 	recovered := false // last committed iteration was a post-recovery replay
-	myEpoch := r.coord.View().Epoch
+	// view is the membership this worker last operated under — the epoch
+	// its exchanges commit under, its checkpoint gathers are keyed by, and
+	// the one it halts or completes with. A successful exchange implies
+	// every participant held the same view (epoch-banded tags), so these
+	// decisions are identical across members by construction.
+	view := r.coord.View()
 	for iter < r.iters {
 		if err := r.ctx.Err(); err != nil {
 			return err // a sibling hit a hard fault
@@ -360,24 +389,24 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			}
 		}
 		if h := r.coord.HaltIter(); h >= 0 && iter >= h {
-			return r.halt(w, id, iter, pending)
+			return r.halt(w, id, iter, pending, view)
 		}
 		r.coord.Beat(id)
-		view := r.coord.View()
-		if !view.Contains(id) {
+		cur := r.coord.View()
+		if !cur.Contains(id) {
 			return errWorkerDone
 		}
-		if view.Epoch != myEpoch {
+		if cur.Epoch != view.Epoch {
 			// The membership moved while this worker was between exchanges:
 			// it must rendezvous before emitting any new-epoch traffic.
 			iter, pending, view, err = r.rendezvous(w, id, iter, pending)
 			if err != nil {
 				return err
 			}
-			myEpoch = view.Epoch
 			recovered = true
 			continue
 		}
+		view = cur
 		if !pending {
 			w.localGradient()
 			if o.LocalGradTransform != nil {
@@ -415,9 +444,16 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			r.coord.ReportDead(id, exErr)
 			return errWorkerDone
 		}
-		cur := r.coord.View()
-		if exErr == nil && cur.Epoch == view.Epoch {
-			// Committed. Renormalize by the members that contributed.
+		if exErr == nil {
+			// Committed: a completed epoch-E exchange is the full sum over
+			// E's members no matter what the membership did meanwhile — a
+			// concurrent eviction or departure must not turn success into a
+			// spurious replay (and a sibling's graceful exit at the final
+			// iteration must not perturb this worker's result). If the
+			// epoch did move, the next loop top rendezvouses, and MinIter
+			// rolls this commit back deterministically when a survivor
+			// aborted the same iteration.
+			// Renormalize by the members that contributed.
 			w.applyAveraged(iter, w.grad, o, len(view.Members))
 			pending = false
 			if id == view.Leader() && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == r.iters-1) {
@@ -427,46 +463,51 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			iter++
 			if o.CheckpointDir != "" && iter < r.iters &&
 				(recovered || (o.CheckpointEvery > 0 && (iter-r.startIter)%o.CheckpointEvery == 0)) {
-				if err := r.checkpoint(w, id, iter, w.sl.Cursor(), w.residual); err != nil {
+				if err := r.checkpoint(w, id, iter, w.sl.Cursor(), w.residual, view); err != nil {
 					return err
 				}
 				recovered = false
 			}
 			continue
 		}
-		if cur.Epoch == view.Epoch {
+		if r.coord.View().Epoch == view.Epoch {
 			// The exchange failed but nobody has been declared dead yet.
 			// Surface the evidence and wait (bounded) for a verdict: either
 			// the epoch advances and recovery proceeds, or the fault was not
 			// a membership event and it stands as the run's error.
 			r.coord.ReportAnomaly(id, exErr)
 			wctx, wcancel := context.WithTimeout(r.ctx, o.RecoveryWait)
-			_, werr := r.coord.AwaitEpoch(wctx, view.Epoch)
+			_, werr := r.coord.AwaitEpoch(wctx, id, view.Epoch)
 			wcancel()
 			if werr != nil {
 				return fmt.Errorf("train: worker %d iter %d: %w", id, iter, exErr)
 			}
 		}
-		iter, pending, cur, err = r.rendezvous(w, id, iter, pending)
+		iter, pending, view, err = r.rendezvous(w, id, iter, pending)
 		if err != nil {
 			return err
 		}
-		myEpoch = cur.Epoch
 		recovered = true
 	}
 
-	// Natural completion: all survivors arrive here in lockstep.
+	// Natural completion. All members of the final committed exchange
+	// arrive here in lockstep; the final checkpoint gathers under that
+	// commit-time view so everyone makes the same gather-or-skip call.
 	r.coord.Beat(id)
 	if o.CheckpointDir != "" {
-		if err := r.checkpoint(w, id, r.iters, w.sl.Cursor(), w.residual); err != nil {
+		if err := r.checkpoint(w, id, r.iters, w.sl.Cursor(), w.residual, view); err != nil {
 			return err
 		}
 	}
 	r.storeWeights(id, w.net.WeightVector(nil))
-	if id == r.coord.View().Leader() {
+	if id == view.Leader() {
 		acc, loss := evaluate(w.net, r.testDS, o.EvalSamples)
 		r.storeFinal(id, acc, loss)
 	}
+	// Leave the membership so a survivor still mid-recovery never blocks
+	// on this exited worker: the departure advances the epoch, failing its
+	// rendezvous, and it re-resolves against the shrunken view.
+	r.coord.Depart(id)
 	return nil
 }
 
@@ -517,8 +558,9 @@ func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending bool) (i
 }
 
 // halt finishes a graceful stop at the agreed boundary: write the final
-// checkpoint (NextIter = the halt iteration) and report ErrInterrupted.
-func (r *elasticRun) halt(w *elasticWorker, id, iter int, pending bool) error {
+// checkpoint (NextIter = the halt iteration), leave the membership, and
+// report ErrInterrupted.
+func (r *elasticRun) halt(w *elasticWorker, id, iter int, pending bool, view elastic.View) error {
 	if r.o.CheckpointDir != "" {
 		residual := w.residual
 		if pending {
@@ -529,21 +571,24 @@ func (r *elasticRun) halt(w *elasticWorker, id, iter int, pending bool) error {
 				residual = s.residualPre
 			}
 		}
-		if err := r.checkpoint(w, id, iter, uint64(iter), residual); err != nil {
+		if err := r.checkpoint(w, id, iter, uint64(iter), residual, view); err != nil {
 			return err
 		}
 	}
 	r.storeWeights(id, w.net.WeightVector(nil))
+	r.coord.Depart(id)
 	return ErrInterrupted
 }
 
 // checkpoint assembles one durable snapshot: every live member contributes
 // its loader cursor and residual through an epoch-scoped gather, and the
 // view's leader writes the file (weights and optimizer state are identical
-// across members, so its own copies serve). A membership change mid-gather
-// skips this checkpoint — the post-recovery one supersedes it.
-func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint64, residual []float32) error {
-	view := r.coord.View()
+// across members, so its own copies serve). view is the caller's
+// commit-time view — NOT re-read here, so every member keys the gather by
+// the same epoch and a concurrent eviction makes all of them skip (the
+// post-recovery checkpoint supersedes) instead of splitting across two
+// gathers that never fill.
+func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint64, residual []float32, view elastic.View) error {
 	if !view.Contains(id) {
 		return nil
 	}

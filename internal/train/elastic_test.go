@@ -5,8 +5,10 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"inceptionn/internal/fault"
 	"inceptionn/internal/fpcodec"
@@ -119,6 +121,65 @@ func TestElasticCrashRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	weightsEqual(t, resA.FinalWeights, resB.FinalWeights, "crash run vs resumed 3-node run")
+}
+
+// TestElasticTailCrashCompletes crashes a node during the run's final
+// iterations, where survivors that commit the last exchange exit the
+// worker loop while a lagging survivor still has a recovery rendezvous
+// ahead of it. Completed workers must depart the membership so the
+// laggard re-resolves against the shrunken view and finishes; without
+// that, its rendezvous gather waits forever on already-exited members and
+// the run hangs. Several crash points are tried so the survivors land on
+// both sides of the commit (some finished, some aborted).
+func TestElasticTailCrashCompletes(t *testing.T) {
+	trainDS, testDS := digitsData()
+	const iters = 30
+	// Node 2 sends ~6 frames per 4-node iteration, so these land inside
+	// the last couple of iterations' exchanges. 179 is the point where,
+	// absent completion departures, the run deadlocks: two survivors
+	// commit iteration 29 and exit while the third aborts its exchange
+	// and rendezvouses against a view that still lists them.
+	for _, crashAfter := range []uint64{170, 174, 179} {
+		o := elasticOptions()
+		o.Chaos = &fault.Config{Seed: 11, CrashAfter: map[int]uint64{2: crashAfter}}
+		done := make(chan struct{})
+		var res Result
+		var err error
+		go func() {
+			defer close(done)
+			res, err = RunElastic(models.NewHDCSmall, trainDS, testDS, iters, o)
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("crashAfter=%d: tail-crash run hung", crashAfter)
+		}
+		if err != nil {
+			t.Fatalf("crashAfter=%d: tail-crash run failed: %v", crashAfter, err)
+		}
+		if res.FinalWeights == nil {
+			t.Fatalf("crashAfter=%d: tail-crash run produced no weights", crashAfter)
+		}
+	}
+}
+
+// TestElasticAllCrashedReportsError: when every node dies, RunElastic must
+// say so — a zero Result with a nil error would read as a successful run
+// that trained nothing. (Depending on scheduling, the last survivor can
+// occasionally finish solo before noticing the others died; that counts
+// as a completed run and must come with weights.)
+func TestElasticAllCrashedReportsError(t *testing.T) {
+	trainDS, testDS := digitsData()
+	o := elasticOptions()
+	o.Chaos = &fault.Config{Seed: 3, CrashAfter: map[int]uint64{0: 0, 1: 0, 2: 0, 3: 0}}
+	res, err := RunElastic(models.NewHDCSmall, trainDS, testDS, 10, o)
+	if err == nil {
+		if res.FinalWeights == nil {
+			t.Fatal("all-crash run returned nil error and nil weights")
+		}
+	} else if !strings.Contains(err.Error(), "no member completed") {
+		t.Fatalf("all-crash run error = %v, want a 'no member completed' report", err)
+	}
 }
 
 // TestElasticStopResumeMatchesUninterrupted checks durable checkpointing
