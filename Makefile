@@ -2,12 +2,14 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench3 benchsmoke chaostest ckptsmoke ci
+.PHONY: build test vet race fuzz bench bench3 bench4 benchsmoke chaostest ckptsmoke obssmoke ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
 # The checkpoint write/restore latency benchmarks behind BENCH_3.json.
 BENCH3_PATTERN = BenchmarkCheckpointWrite|BenchmarkCheckpointRestore
+# The observability-overhead pair behind BENCH_4.json.
+BENCH4_PATTERN = BenchmarkObsOverhead
 
 build:
 	$(GO) build ./...
@@ -35,14 +37,24 @@ fuzz:
 # emit BENCH_2.json with per-benchmark ns/op, B/op, and the multi-core
 # speedup. On a single-core machine both runs coincide (speedup ≈ 1).
 bench:
-	GOMAXPROCS=1 $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench_single.txt
-	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench_multi.txt
-	$(GO) run ./cmd/benchjson -single bench_single.txt -multi bench_multi.txt -out BENCH_2.json
+	GOMAXPROCS=1 $(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench/bench_single.txt
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem . | tee bench/bench_multi.txt
+	$(GO) run ./cmd/benchjson -single bench/bench_single.txt -multi bench/bench_multi.txt -out BENCH_2.json
 
 # Checkpoint write/restore latency report (elastic training durability).
 bench3:
-	$(GO) test -run '^$$' -bench '$(BENCH3_PATTERN)' -benchmem . | tee bench_ckpt.txt
-	$(GO) run ./cmd/benchjson -multi bench_ckpt.txt -out BENCH_3.json
+	$(GO) test -run '^$$' -bench '$(BENCH3_PATTERN)' -benchmem . | tee bench/bench_ckpt.txt
+	$(GO) run ./cmd/benchjson -multi bench/bench_ckpt.txt -out BENCH_3.json
+
+# Observability-overhead report: the same end-to-end training run with the
+# recorder detached and attached; BENCH_4.json fails the build when the
+# recorder costs more than 2% wall clock.
+bench4:
+	$(GO) test -run '^$$' -bench '$(BENCH4_PATTERN)' -benchtime 5x -count 1 . | tee bench/bench_obs.txt
+	$(GO) run ./cmd/benchjson -multi bench/bench_obs.txt \
+		-overhead-off 'BenchmarkObsOverhead/recorderOff' \
+		-overhead-on 'BenchmarkObsOverhead/recorderOn' \
+		-max-overhead-pct 2 -out BENCH_4.json
 
 # One-iteration smoke run of the same benchmarks, to keep them compiling
 # and executing under CI without paying for a full measurement.
@@ -60,4 +72,12 @@ chaostest:
 ckptsmoke:
 	$(GO) test ./internal/train -run 'TestElasticStopResumeMatchesUninterrupted|TestRunCheckpointRoundTripAndCorruptFallback' -count=1
 
-ci: vet chaostest ckptsmoke race benchsmoke
+# Observability smoke: a short traced training run must produce a span
+# trace that inctrace renders into a non-empty per-node breakdown
+# (inctrace exits nonzero on an empty trace).
+obssmoke:
+	$(GO) run ./cmd/inctrain -model hdc-small -workers 4 -iters 30 -eval 30 -compress \
+		-trace-out bench/obssmoke_trace.jsonl
+	$(GO) run ./cmd/inctrace -no-timeline bench/obssmoke_trace.jsonl | grep -q 'trace wall clock'
+
+ci: vet chaostest ckptsmoke obssmoke race benchsmoke

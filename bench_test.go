@@ -30,6 +30,7 @@ import (
 	"inceptionn/internal/netsim"
 	"inceptionn/internal/nic"
 	"inceptionn/internal/nn"
+	"inceptionn/internal/obs"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/ring"
 	"inceptionn/internal/tcpfabric"
@@ -467,6 +468,45 @@ func BenchmarkRingTrainingE2E(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead quantifies the observability tax behind
+// BENCH_4.json: the same short end-to-end ring training run with the
+// recorder detached (nil — every instrumentation site is a nil-safe
+// no-op) and attached (live registry + span tracer). The PR's acceptance
+// bound is <2% overhead recorder-on vs recorder-off.
+func BenchmarkObsOverhead(b *testing.B) {
+	trainDS := data.NewDigits(1024, 7)
+	testDS := data.NewDigits(128, 8)
+	base := func() train.Options {
+		return train.Options{
+			Workers:      4,
+			Algo:         train.Ring,
+			BatchPerNode: 16,
+			Schedule:     opt.StepSchedule{Base: 0.02},
+			Momentum:     0.9,
+			Seed:         42,
+			EvalSamples:  64,
+			ChunkSize:    4096,
+		}
+	}
+	b.Run("recorderOff", func(b *testing.B) {
+		o := base()
+		for i := 0; i < b.N; i++ {
+			if _, err := train.Run(models.NewHDCSmall, trainDS, testDS, 5, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recorderOn", func(b *testing.B) {
+		o := base()
+		o.Obs = obs.NewRecorder(obs.NewRegistry(), obs.NewTracer(1<<16))
+		for i := 0; i < b.N; i++ {
+			if _, err := train.Run(models.NewHDCSmall, trainDS, testDS, 5, o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCheckpointWrite measures the durable elastic-checkpoint write

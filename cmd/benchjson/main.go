@@ -10,6 +10,14 @@
 //
 // The -single flag is optional; without it, speedups are omitted and the
 // report carries only the -multi numbers.
+//
+// Overhead mode pairs two benchmarks from the same -multi file — an
+// instrumented variant and its baseline — and reports the relative cost,
+// which is how `make bench4` produces BENCH_4.json for the observability
+// recorder:
+//
+//	benchjson -multi obs.txt -overhead-off 'BenchmarkObsOverhead/recorderOff' \
+//	    -overhead-on 'BenchmarkObsOverhead/recorderOn' -out BENCH_4.json
 package main
 
 import (
@@ -84,13 +92,31 @@ func parseFile(path string) (map[string]Entry, error) {
 	return out, sc.Err()
 }
 
+// OverheadReport wraps the entry list when overhead mode is active: the
+// document leads with the paired baseline/instrumented numbers so the
+// acceptance bound (overhead_pct) is machine-checkable.
+type OverheadReport struct {
+	BaselineName    string  `json:"baseline_name"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
+	OnName          string  `json:"instrumented_name"`
+	OnNsPerOp       float64 `json:"instrumented_ns_per_op"`
+	OverheadPct     float64 `json:"overhead_pct"`
+	Benchmarks      []Entry `json:"benchmarks"`
+}
+
 func run() error {
 	single := flag.String("single", "", "bench output captured with GOMAXPROCS=1 (optional)")
 	multi := flag.String("multi", "", "bench output captured with default GOMAXPROCS (required)")
 	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	overheadOff := flag.String("overhead-off", "", "overhead mode: baseline benchmark name in -multi")
+	overheadOn := flag.String("overhead-on", "", "overhead mode: instrumented benchmark name in -multi")
+	maxOverhead := flag.Float64("max-overhead-pct", 0, "overhead mode: fail when overhead_pct exceeds this bound (0 = no bound)")
 	flag.Parse()
 	if *multi == "" {
 		return fmt.Errorf("-multi is required")
+	}
+	if (*overheadOff == "") != (*overheadOn == "") {
+		return fmt.Errorf("-overhead-off and -overhead-on must be given together")
 	}
 
 	multiRes, err := parseFile(*multi)
@@ -122,7 +148,33 @@ func run() error {
 		}
 	}
 
-	data, err := json.MarshalIndent(entries, "", "  ")
+	var doc interface{} = entries
+	if *overheadOff != "" {
+		off, okOff := multiRes[*overheadOff]
+		on, okOn := multiRes[*overheadOn]
+		if !okOff || !okOn {
+			return fmt.Errorf("overhead pair not found in %s: %q ok=%v, %q ok=%v",
+				*multi, *overheadOff, okOff, *overheadOn, okOn)
+		}
+		if off.NsPerOp <= 0 {
+			return fmt.Errorf("baseline %q has no ns/op", *overheadOff)
+		}
+		rep := OverheadReport{
+			BaselineName:    *overheadOff,
+			BaselineNsPerOp: off.NsPerOp,
+			OnName:          *overheadOn,
+			OnNsPerOp:       on.NsPerOp,
+			OverheadPct:     100 * (on.NsPerOp - off.NsPerOp) / off.NsPerOp,
+			Benchmarks:      entries,
+		}
+		fmt.Printf("overhead: %s %.0f ns/op vs %s %.0f ns/op = %+.2f%%\n",
+			rep.BaselineName, rep.BaselineNsPerOp, rep.OnName, rep.OnNsPerOp, rep.OverheadPct)
+		if *maxOverhead > 0 && rep.OverheadPct > *maxOverhead {
+			return fmt.Errorf("overhead %.2f%% exceeds the %.2f%% bound", rep.OverheadPct, *maxOverhead)
+		}
+		doc = rep
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}

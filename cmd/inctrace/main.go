@@ -1,0 +1,100 @@
+// Command inctrace renders the observability artifacts a training run
+// produces: the per-node time breakdown (the shape of the paper's Fig. 13
+// and Fig. 14 communication/computation splits) and an ASCII step
+// timeline, from either a trace file written with `inctrain -trace-out`
+// or a live `inctrain -metrics-addr` endpoint.
+//
+// Usage:
+//
+//	inctrace trace.jsonl                     # render a saved trace
+//	inctrace -addr 127.0.0.1:8080            # scrape a live run
+//	inctrace -width 120 -no-timeline trace.jsonl
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"inceptionn/internal/obs"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inctrace:", err)
+	os.Exit(1)
+}
+
+// fetch GETs path from the live endpoint with a short timeout.
+func fetch(addr, path string) ([]byte, error) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func main() {
+	addr := flag.String("addr", "", "scrape a live run's -metrics-addr endpoint instead of reading a trace file")
+	width := flag.Int("width", 100, "timeline width in character cells")
+	noTimeline := flag.Bool("no-timeline", false, "skip the ASCII step timeline")
+	noMetrics := flag.Bool("no-metrics", false, "skip the metrics snapshot (live mode only)")
+	flag.Parse()
+
+	var spans []obs.Span
+	var err error
+	switch {
+	case *addr != "":
+		body, ferr := fetch(*addr, "/trace")
+		if ferr != nil {
+			fatal(ferr)
+		}
+		spans, err = obs.ReadSpans(bytes.NewReader(body))
+	case flag.NArg() == 1:
+		f, ferr := os.Open(flag.Arg(0))
+		if ferr != nil {
+			fatal(ferr)
+		}
+		spans, err = obs.ReadSpans(f)
+		f.Close()
+	default:
+		fmt.Fprintln(os.Stderr, "usage: inctrace [flags] trace.jsonl | inctrace -addr host:port")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if len(spans) == 0 {
+		fatal(fmt.Errorf("trace holds no spans (was the run started with -trace-out or -metrics-addr?)"))
+	}
+
+	bd := obs.Aggregate(spans)
+	fmt.Printf("per-node time breakdown (%d spans):\n\n", len(spans))
+	bd.RenderTable(os.Stdout)
+	if !*noTimeline {
+		fmt.Println()
+		obs.RenderTimeline(os.Stdout, spans, *width)
+	}
+	if *addr != "" && !*noMetrics {
+		body, ferr := fetch(*addr, "/metrics")
+		if ferr != nil {
+			fatal(ferr)
+		}
+		snap, perr := obs.ParseSnapshot(body)
+		if perr != nil {
+			fatal(perr)
+		}
+		fmt.Println()
+		fmt.Println("metrics snapshot:")
+		obs.RenderMetrics(os.Stdout, snap)
+	}
+}

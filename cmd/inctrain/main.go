@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"inceptionn/internal/data"
@@ -22,9 +24,39 @@ import (
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/models"
 	"inceptionn/internal/nic"
+	"inceptionn/internal/obs"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/train"
 )
+
+// parseCrashSpec parses -chaos-crash: comma-separated node:afterSends
+// pairs, e.g. "2:65" or "1:40,3:200".
+func parseCrashSpec(spec string) (map[int]uint64, error) {
+	out := make(map[int]uint64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		node, after, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad crash spec %q (want node:afterSends)", part)
+		}
+		id, err := strconv.Atoi(node)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad crash spec node %q", node)
+		}
+		n, err := strconv.ParseUint(after, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad crash spec count %q", after)
+		}
+		out[id] = n
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty crash spec %q", spec)
+	}
+	return out, nil
+}
 
 func main() {
 	model := flag.String("model", "hdc-small", "trainable model: hdc, hdc-small, mini-alexnet, mini-vgg, mini-resnet")
@@ -49,6 +81,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for model init and data")
 	samples := flag.Int("samples", 4000, "synthetic training samples")
 	evalEvery := flag.Int("eval", 50, "evaluate every N iterations")
+	chaosCrash := flag.String("chaos-crash", "", "chaos: crash nodes after N frame sends, e.g. \"2:65\" or \"1:40,3:200\" (requires -tcp or -elastic)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live observability on this address (/metrics JSON, /trace JSONL, /debug/pprof), e.g. 127.0.0.1:8080")
+	traceOut := flag.String("trace-out", "", "write the step trace as JSONL to this file when the run ends (inctrace reads it)")
+	traceCap := flag.Int("trace-cap", 1<<16, "step tracer ring-buffer capacity (spans; oldest overwritten)")
 	flag.Parse()
 
 	build, ok := models.Builders[*model]
@@ -101,12 +137,12 @@ func main() {
 		o.Compress = true
 	}
 
-	if !*tcp && (*chaosDrop > 0 || *chaosCorrupt > 0 || *stepTimeout > 0) {
-		fmt.Fprintln(os.Stderr, "inctrain: -chaos-* and -step-timeout require -tcp")
-		os.Exit(2)
-	}
 	if *checkpointDir != "" {
 		*elastic = true
+	}
+	if !*tcp && !*elastic && (*chaosDrop > 0 || *chaosCorrupt > 0 || *chaosCrash != "" || *stepTimeout > 0) {
+		fmt.Fprintln(os.Stderr, "inctrain: -chaos-* and -step-timeout require -tcp or -elastic")
+		os.Exit(2)
 	}
 	if (*checkpointEvery > 0 || *resume) && *checkpointDir == "" {
 		fmt.Fprintln(os.Stderr, "inctrain: -checkpoint-every and -resume require -checkpoint-dir")
@@ -116,6 +152,73 @@ func main() {
 		fmt.Fprintln(os.Stderr, "inctrain: -elastic requires -algo ring on the in-process fabric")
 		os.Exit(2)
 	}
+	// Shared chaos config: the TCP fabric and the elastic runner both
+	// consume o.Chaos through the same injector.
+	if *chaosDrop > 0 || *chaosCorrupt > 0 || *chaosCrash != "" {
+		cfg := &fault.Config{
+			Seed:    *chaosSeed,
+			Default: fault.LinkFaults{DropRate: *chaosDrop, CorruptRate: *chaosCorrupt},
+		}
+		if *chaosCrash != "" {
+			crash, cerr := parseCrashSpec(*chaosCrash)
+			if cerr != nil {
+				fmt.Fprintln(os.Stderr, "inctrain:", cerr)
+				os.Exit(2)
+			}
+			cfg.CrashAfter = crash
+		}
+		o.Chaos = cfg
+		fmt.Printf("chaos: drop %.1f%%, corrupt %.1f%%, crash %q (seed %d)\n",
+			100**chaosDrop, 100**chaosCorrupt, *chaosCrash, *chaosSeed)
+	}
+
+	// Observability: a registry + bounded tracer feed both the live HTTP
+	// endpoint and the end-of-run trace file. Leaving every obs flag unset
+	// keeps o.Obs nil and the hot paths free of even a clock read.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsAddr != "" || *traceOut != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(*traceCap)
+		reg.Func("fpcodec_values_compressed", func() float64 {
+			v, _ := fpcodec.StreamTotals()
+			return float64(v)
+		})
+		reg.Func("fpcodec_bits_emitted", func() float64 {
+			_, b := fpcodec.StreamTotals()
+			return float64(b)
+		})
+		o.Obs = obs.NewRecorder(reg, tracer)
+	}
+	if *metricsAddr != "" {
+		addr, serr := obs.Serve(*metricsAddr, reg, tracer)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "inctrain:", serr)
+			os.Exit(2)
+		}
+		fmt.Printf("observability: http://%s/metrics (JSON), /trace (JSONL), /debug/pprof\n", addr)
+	}
+
+	// flushTrace persists the span ring buffer for inctrace; called on
+	// every exit path that has training work behind it.
+	flushTrace := func() {
+		if *traceOut == "" || tracer == nil {
+			return
+		}
+		f, ferr := os.Create(*traceOut)
+		if ferr == nil {
+			ferr = tracer.WriteJSONL(f)
+			if cerr := f.Close(); ferr == nil {
+				ferr = cerr
+			}
+		}
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "inctrain: trace:", ferr)
+			return
+		}
+		fmt.Printf("trace: %d spans retained -> %s (render with inctrace)\n", len(tracer.Snapshot()), *traceOut)
+	}
+
 	transport := "in-process fabric"
 	if *tcp {
 		transport = "loopback TCP"
@@ -135,20 +238,13 @@ func main() {
 			os.Exit(2)
 		}
 		o.StepTimeout = *stepTimeout
-		if *chaosDrop > 0 || *chaosCorrupt > 0 {
-			o.Chaos = &fault.Config{
-				Seed:    *chaosSeed,
-				Default: fault.LinkFaults{DropRate: *chaosDrop, CorruptRate: *chaosCorrupt},
-			}
-			fmt.Printf("chaos: drop %.1f%%, corrupt %.1f%% (seed %d)\n",
-				100**chaosDrop, 100**chaosCorrupt, *chaosSeed)
-		}
 		res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
 	} else if *elastic {
 		o.CheckpointDir = *checkpointDir
 		o.CheckpointEvery = *checkpointEvery
 		o.Resume = *resume
 		o.SuspectAfter = *suspectAfter
+		o.StepTimeout = *stepTimeout
 		// A first SIGINT/SIGTERM drains the run gracefully: the workers
 		// agree on a halt iteration and write a final checkpoint before the
 		// process exits nonzero. A second signal kills it the default way.
@@ -173,6 +269,7 @@ func main() {
 			} else {
 				fmt.Fprintln(os.Stderr, "inctrain: interrupted (no -checkpoint-dir, progress discarded)")
 			}
+			flushTrace()
 			os.Exit(1)
 		}
 	} else {
@@ -180,6 +277,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "inctrain:", err)
+		flushTrace()
 		os.Exit(1)
 	}
 	for _, p := range res.Evals {
@@ -188,4 +286,9 @@ func main() {
 	fmt.Printf("final: accuracy %.1f%%  loss %.4f\n", 100*res.FinalAcc, res.FinalLoss)
 	fmt.Printf("traffic: %d raw bytes, %d wire bytes (%.2fx reduction)\n",
 		res.RawBytes, res.WireBytes, float64(res.RawBytes)/float64(res.WireBytes))
+	if res.ComputeSeconds > 0 || res.CommSeconds > 0 {
+		fmt.Printf("timing: compute %.3fs, comm %.3fs, straggler wait %.3fs (summed across workers)\n",
+			res.ComputeSeconds, res.CommSeconds, res.StragglerWaitSeconds)
+	}
+	flushTrace()
 }

@@ -20,6 +20,7 @@ import (
 
 	"inceptionn/internal/bitio"
 	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/obs"
 )
 
 // ToSCompress is the reserved Type-of-Service value that marks a packet
@@ -143,6 +144,33 @@ type message struct {
 	tag     int
 }
 
+// fabricObs holds the fabric's observability handles, resolved once at
+// SetRecorder time so the send path pays only an atomic pointer load.
+type fabricObs struct {
+	rec        *obs.Recorder
+	raw        *obs.Counter // wire_bytes_raw: pre-compression payload bytes, all traffic
+	compressed *obs.Counter // wire_bytes_compressed: post-codec payload bytes of ToS-compressed traffic
+	ratio      *obs.Gauge   // compression_ratio: raw/compressed over ToS-compressed traffic
+
+	// Running totals behind the ratio gauge (compressed-tagged traffic only).
+	compRawB atomic.Int64
+	compOutB atomic.Int64
+}
+
+// observe accounts one processed send.
+func (o *fabricObs) observe(rawBytes, outBytes int64, compressed bool) {
+	o.raw.Add(rawBytes)
+	if !compressed {
+		return
+	}
+	o.compressed.Add(outBytes)
+	r := o.compRawB.Add(rawBytes)
+	c := o.compOutB.Add(outBytes)
+	if c > 0 {
+		o.ratio.Set(float64(r) / float64(c))
+	}
+}
+
 // Fabric connects n nodes with reliable ordered streams and a shared
 // WireProcessor.
 type Fabric struct {
@@ -150,6 +178,25 @@ type Fabric struct {
 	proc  WireProcessor
 	chans [][]chan message // chans[src][dst]
 	stats [][]*LinkStats
+	obs   atomic.Pointer[fabricObs]
+}
+
+// SetRecorder attaches an observability recorder to the fabric: every
+// subsequent send reports wire_bytes_raw / wire_bytes_compressed
+// counters and the live compression_ratio gauge, and ToS-compressed
+// sends record a compress phase span (iteration -1: the codec runs
+// inside the transport, below iteration attribution). A nil rec detaches.
+func (f *Fabric) SetRecorder(rec *obs.Recorder) {
+	if rec == nil {
+		f.obs.Store(nil)
+		return
+	}
+	f.obs.Store(&fabricObs{
+		rec:        rec,
+		raw:        rec.Counter("wire_bytes_raw"),
+		compressed: rec.Counter("wire_bytes_compressed"),
+		ratio:      rec.Gauge("compression_ratio"),
+	})
 }
 
 // NewFabric creates a fabric of n nodes using proc (nil for identity).
@@ -288,6 +335,25 @@ type Endpoint struct {
 	id int
 }
 
+// process runs the wire processor with observability attached (when a
+// recorder is set on the fabric).
+func (e *Endpoint) process(payload []float32, tos uint8) ([]float32, int64) {
+	o := e.f.obs.Load()
+	if o == nil {
+		return e.f.proc.Process(payload, tos)
+	}
+	var sp obs.ActiveSpan
+	if tos == ToSCompress {
+		sp = o.rec.Span(e.id, -1, obs.PhaseCompress)
+	}
+	recv, payloadBytes := e.f.proc.Process(payload, tos)
+	if tos == ToSCompress {
+		sp.End()
+	}
+	o.observe(4*int64(len(payload)), payloadBytes, tos == ToSCompress)
+	return recv, payloadBytes
+}
+
 var _ Peer = (*Endpoint)(nil)
 
 // ID returns this endpoint's node id.
@@ -301,7 +367,7 @@ func (e *Endpoint) N() int { return e.f.n }
 // tag must match the receiver's Recv tag (streams are ordered per link, so
 // tags serve as a protocol assertion rather than reordering).
 func (e *Endpoint) Send(dst int, payload []float32, tos uint8, tag int) {
-	recv, payloadBytes := e.f.proc.Process(payload, tos)
+	recv, payloadBytes := e.process(payload, tos)
 	if len(payload) > 0 && len(recv) > 0 && &recv[0] == &payload[0] {
 		// Identity path: copy so sender buffer reuse cannot race receiver.
 		recv = append([]float32(nil), payload...)
@@ -329,7 +395,7 @@ var _ CtxPeer = (*Endpoint)(nil)
 // SendCtx implements CtxPeer: like Send, but gives up with ctx.Err() if
 // the (deeply buffered) stream would block past the context deadline.
 func (e *Endpoint) SendCtx(ctx context.Context, dst int, payload []float32, tos uint8, tag int) error {
-	recv, payloadBytes := e.f.proc.Process(payload, tos)
+	recv, payloadBytes := e.process(payload, tos)
 	if len(payload) > 0 && len(recv) > 0 && &recv[0] == &payload[0] {
 		recv = append([]float32(nil), payload...)
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"inceptionn/internal/comm"
+	"inceptionn/internal/obs"
 )
 
 // Errors returned by coordination primitives.
@@ -108,6 +109,11 @@ type Config struct {
 	// ScanEvery is the detector's polling period. Defaults to
 	// SuspectAfter/4 (minimum 1ms) when zero.
 	ScanEvery time.Duration
+	// Obs, if non-nil, records the membership layer's counters
+	// (elastic_heartbeats, elastic_suspects, elastic_evictions,
+	// elastic_departs) and the live elastic_epoch / elastic_members
+	// gauges.
+	Obs *obs.Recorder
 }
 
 // gather is one in-progress epoch-scoped all-to-all rendezvous.
@@ -149,6 +155,14 @@ type Coordinator struct {
 	stop  chan struct{}
 	done  chan struct{}
 	wg    sync.WaitGroup // WatchErrors consumers
+
+	// Metric handles (nil-safe no-ops when cfg.Obs is nil).
+	obsHeartbeats *obs.Counter
+	obsSuspects   *obs.Counter
+	obsEvictions  *obs.Counter
+	obsDeparts    *obs.Counter
+	obsEpoch      *obs.Gauge
+	obsMembers    *obs.Gauge
 }
 
 // NewCoordinator creates a coordinator over a universe of n nodes, all
@@ -177,7 +191,16 @@ func NewCoordinator(n int, cfg Config) *Coordinator {
 		cfg:         cfg,
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
+
+		obsHeartbeats: cfg.Obs.Counter("elastic_heartbeats"),
+		obsSuspects:   cfg.Obs.Counter("elastic_suspects"),
+		obsEvictions:  cfg.Obs.Counter("elastic_evictions"),
+		obsDeparts:    cfg.Obs.Counter("elastic_departs"),
+		obsEpoch:      cfg.Obs.Gauge("elastic_epoch"),
+		obsMembers:    cfg.Obs.Gauge("elastic_members"),
 	}
+	c.obsEpoch.Set(0)
+	c.obsMembers.Set(float64(n))
 	if cfg.SuspectAfter > 0 {
 		go c.detect(c.beatEvery())
 	} else {
@@ -261,6 +284,7 @@ func (c *Coordinator) Beat(id int) {
 	if id >= 0 && id < c.universe {
 		c.lastBeat[id] = time.Now()
 		c.started[id] = true
+		c.obsHeartbeats.Add(1)
 	}
 }
 
@@ -282,6 +306,7 @@ func (c *Coordinator) declareDeadLocked(id int, cause error) {
 		cause = errors.New("elastic: declared dead")
 	}
 	c.dead[id] = cause
+	c.obsEvictions.Add(1)
 	// A death dooms the superseded epoch's in-flight collectives — the
 	// dead node will never send the frames they are waiting on — so cancel
 	// the epoch context before publishing the new view.
@@ -307,6 +332,7 @@ func (c *Coordinator) Depart(id int) {
 	if c.closed || !c.view.Contains(id) {
 		return
 	}
+	c.obsDeparts.Add(1)
 	c.removeLocked(id)
 }
 
@@ -324,6 +350,8 @@ func (c *Coordinator) removeLocked(id int) {
 	}
 	sort.Ints(members)
 	c.view = View{Epoch: c.view.Epoch + 1, Members: members}
+	c.obsEpoch.Set(float64(c.view.Epoch))
+	c.obsMembers.Set(float64(len(members)))
 	for k, g := range c.gathers {
 		g.err = ErrEpochChanged
 		close(g.done)
@@ -349,6 +377,7 @@ func (c *Coordinator) ReportAnomaly(node int, err error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.obsSuspects.Add(1)
 	const keep = 64
 	c.anomalies = append(c.anomalies, Anomaly{Node: node, Time: time.Now(), Err: err})
 	if len(c.anomalies) > keep {

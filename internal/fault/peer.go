@@ -58,6 +58,15 @@ type Options struct {
 	MaxAttempts int
 	// InboxDepth is the per-link buffer of delivered frames. Default 256.
 	InboxDepth int
+	// Finalize, when set, is applied in place to a compressed data
+	// frame's payload before it is checksummed. It must be the transport
+	// codec's roundtrip (idempotent), so the payload the receiver
+	// decompresses is bit-identical to the one the sender checksummed —
+	// without it every lossy-compressed frame would NACK forever. The
+	// header words need no such treatment: they are all 0 or whole
+	// numbers ≥ 1, which the INCEPTIONN codec stores exactly (TagZero
+	// and TagNone respectively).
+	Finalize func([]float32)
 }
 
 func (o Options) withDefaults() Options {
@@ -217,10 +226,13 @@ func (p *Peer) SendCtx(ctx context.Context, dst int, payload []float32, tos uint
 	frame[0] = kindData
 	frame[1] = float32(seq % (1 << 24))
 	frame[2] = float32(tag)
-	crc := payloadCRC(payload)
+	copy(frame[headerLen:], payload)
+	if p.opts.Finalize != nil && tos == comm.ToSCompress {
+		p.opts.Finalize(frame[headerLen:])
+	}
+	crc := payloadCRC(frame[headerLen:])
 	frame[3] = float32(crc & 0xFFFF)
 	frame[4] = float32(crc >> 16)
-	copy(frame[headerLen:], payload)
 
 	rto := p.opts.RTO
 	for attempt := 0; attempt < p.opts.MaxAttempts; attempt++ {

@@ -284,6 +284,11 @@ func shardBounds(n, shards, s int) (lo, hi int) {
 // vector followed by that group's data — so the stitched stream is
 // bit-identical to a sequential encode for any worker count.
 func CompressStream(w *bitio.Writer, src []float32, b Bound) {
+	before := w.Len()
+	defer func() {
+		totalStreamValues.Add(int64(len(src)))
+		totalStreamBits.Add(int64(w.Len() - before))
+	}()
 	shards := streamShards(len(src))
 	if shards <= 1 {
 		compressStreamSeq(w, src, b)

@@ -1,0 +1,18 @@
+package fpcodec
+
+import "sync/atomic"
+
+// Process-wide stream-compression totals. The codec sits below every
+// transport (and below iteration attribution), so rather than plumbing a
+// recorder through it, it keeps two atomics that an observability layer
+// surfaces as callback gauges (obs.Registry.Func).
+var (
+	totalStreamValues atomic.Int64
+	totalStreamBits   atomic.Int64
+)
+
+// StreamTotals returns how many float32 values CompressStream has
+// encoded process-wide and how many bits those encodes emitted.
+func StreamTotals() (values, bits int64) {
+	return totalStreamValues.Load(), totalStreamBits.Load()
+}

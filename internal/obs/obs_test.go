@@ -1,0 +1,289 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines —
+// concurrent creation of the same names plus concurrent handle use —
+// and checks the totals. Run under -race this is the concurrency-safety
+// proof for the metric hot paths.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("shared_counter").Add(1)
+				reg.Gauge("shared_gauge").Set(float64(g))
+				reg.Histogram("shared_hist").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					_ = reg.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := reg.Counter("shared_counter").Value(); got != goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := reg.Histogram("shared_hist").Count(); got != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*perG)
+	}
+	gv := reg.Gauge("shared_gauge").Value()
+	if gv < 0 || gv >= goroutines {
+		t.Errorf("gauge = %v, want a goroutine id in [0,%d)", gv, goroutines)
+	}
+}
+
+// TestNilSafety verifies the entire disabled path: a nil recorder and
+// the nil handles it yields must all be no-ops, not panics.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Counter("x").Add(1)
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(time.Second)
+	r.Span(0, 0, PhaseCompute).End()
+	r.Span(0, 0, PhaseSend).EndWith(time.Second)
+	r.RecordSpan(0, 0, PhaseRecv, time.Now(), time.Second)
+	if r.Registry() != nil || r.Tracer() != nil {
+		t.Error("nil recorder should expose nil registry/tracer")
+	}
+	var reg *Registry
+	if reg.Counter("x") != nil || reg.Snapshot() != nil {
+		t.Error("nil registry should yield nil handles")
+	}
+	var tr *Tracer
+	if tr.Snapshot() != nil || tr.Total() != 0 {
+		t.Error("nil tracer should be empty")
+	}
+	// Half-enabled recorders.
+	NewRecorder(NewRegistry(), nil).Span(0, 0, PhaseCompute).End()
+	NewRecorder(nil, NewTracer(4)).Counter("x").Add(1)
+}
+
+// TestTracerWraparound fills a small ring past capacity and checks that
+// Snapshot returns exactly the last cap spans, oldest first.
+func TestTracerWraparound(t *testing.T) {
+	const capacity = 8
+	const total = 27 // not a multiple of capacity, to land mid-ring
+	tr := NewTracer(capacity)
+	rec := NewRecorder(nil, tr)
+	base := time.Now()
+	for i := 0; i < total; i++ {
+		rec.RecordSpan(0, i, PhaseCompute, base.Add(time.Duration(i)*time.Millisecond), time.Millisecond)
+	}
+	if got := tr.Total(); got != total {
+		t.Fatalf("Total = %d, want %d", got, total)
+	}
+	snap := tr.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("Snapshot len = %d, want %d", len(snap), capacity)
+	}
+	for i, s := range snap {
+		want := total - capacity + i
+		if s.Iter != want {
+			t.Errorf("snap[%d].Iter = %d, want %d (oldest-first order broken)", i, s.Iter, want)
+		}
+	}
+}
+
+// TestTracerJSONLRoundTrip streams a trace and parses it back.
+func TestTracerJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(16)
+	rec := NewRecorder(nil, tr)
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		rec.RecordSpan(i%2, i, Phase(i%int(NumPhases)), base.Add(time.Duration(i)*time.Millisecond), 2*time.Millisecond)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"phase":"compute"`) {
+		t.Errorf("JSONL should name phases, got: %s", buf.String())
+	}
+	spans, err := ReadSpans(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Snapshot()
+	if len(spans) != len(want) {
+		t.Fatalf("round trip: %d spans, want %d", len(spans), len(want))
+	}
+	for i := range spans {
+		if spans[i] != want[i] {
+			t.Errorf("span %d: %+v != %+v", i, spans[i], want[i])
+		}
+	}
+}
+
+// TestReadSpansBadLine checks the reader reports line numbers.
+func TestReadSpansBadLine(t *testing.T) {
+	in := `{"node":0,"iter":0,"phase":"compute","start_ns":0,"dur_ns":10}
+not json`
+	_, err := ReadSpans(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("want a line-2 error, got %v", err)
+	}
+}
+
+func TestPhaseRoundTrip(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		got, ok := ParsePhase(p.String())
+		if !ok || got != p {
+			t.Errorf("ParsePhase(%q) = %v,%v", p.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePhase("bogus"); ok {
+		t.Error("ParsePhase should reject unknown names")
+	}
+}
+
+// TestHistogramBounds checks bucketing, overflow and snapshot shape.
+func TestHistogramBounds(t *testing.T) {
+	h := newHistogram([]time.Duration{time.Millisecond, time.Second})
+	h.Observe(time.Microsecond)       // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive bound)
+	h.Observe(100 * time.Millisecond) // bucket 1
+	h.Observe(time.Minute)            // overflow
+	h.Observe(-time.Second)           // clamped to 0 → bucket 0
+	s := h.snapshot()
+	if s.Count != 5 {
+		t.Errorf("count = %d, want 5", s.Count)
+	}
+	if s.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1", s.Overflow)
+	}
+	if s.MaxSeconds != 60 {
+		t.Errorf("max = %v, want 60", s.MaxSeconds)
+	}
+	var n int64
+	for _, b := range s.Buckets {
+		n += b.N
+	}
+	if n+s.Overflow != s.Count {
+		t.Errorf("bucket sum %d + overflow %d != count %d", n, s.Overflow, s.Count)
+	}
+}
+
+// TestHTTPHandler exercises /metrics and /trace end to end.
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(8)
+	rec := NewRecorder(reg, tr)
+	rec.Counter("wire_bytes_compressed").Add(1234)
+	reg.Func("codec_values", func() float64 { return 42 })
+	rec.RecordSpan(0, 0, PhaseSend, time.Now(), time.Millisecond)
+
+	srv := httptest.NewServer(NewHTTPHandler(reg, tr))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v, _ := snap["wire_bytes_compressed"].(float64); v != 1234 {
+		t.Errorf("wire_bytes_compressed = %v, want 1234", snap["wire_bytes_compressed"])
+	}
+	if v, _ := snap["codec_values"].(float64); v != 42 {
+		t.Errorf("codec_values = %v, want 42", snap["codec_values"])
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ReadSpans(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Phase != PhaseSend {
+		t.Errorf("trace endpoint returned %+v, want one send span", spans)
+	}
+}
+
+// TestAggregateAndRender builds a synthetic 2-node trace and checks the
+// breakdown math plus that both renderers produce the expected shape.
+func TestAggregateAndRender(t *testing.T) {
+	mk := func(node, iter int, p Phase, startMs, durMs int64) Span {
+		return Span{Node: node, Iter: iter, Phase: p, Start: startMs * 1e6, Dur: durMs * 1e6}
+	}
+	spans := []Span{
+		mk(0, 0, PhaseCompute, 0, 30),
+		mk(0, 0, PhaseSend, 30, 10),
+		mk(0, 1, PhaseCompute, 40, 30),
+		mk(1, 0, PhaseCompute, 0, 20),
+		mk(1, 0, PhaseRecv, 20, 40),
+	}
+	b := Aggregate(spans)
+	if len(b.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2", len(b.Nodes))
+	}
+	n0 := b.Nodes[0]
+	if n0.Node != 0 || n0.Phase[PhaseCompute] != 60*time.Millisecond || n0.Phase[PhaseSend] != 10*time.Millisecond {
+		t.Errorf("node0 breakdown wrong: %+v", n0)
+	}
+	if n0.Iters != 2 {
+		t.Errorf("node0 iters = %d, want 2", n0.Iters)
+	}
+	if b.Nodes[1].Comm() != 40*time.Millisecond {
+		t.Errorf("node1 comm = %v, want 40ms", b.Nodes[1].Comm())
+	}
+	if b.Wall() != 70*time.Millisecond {
+		t.Errorf("wall = %v, want 70ms", b.Wall())
+	}
+
+	var tbl bytes.Buffer
+	b.RenderTable(&tbl)
+	out := tbl.String()
+	for _, want := range []string{"node", "compute", "send", "comm%", "trace wall clock"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	var tl bytes.Buffer
+	RenderTimeline(&tl, spans, 40)
+	lines := strings.Split(strings.TrimSpace(tl.String()), "\n")
+	if len(lines) != 3 { // header + 2 node rows
+		t.Fatalf("timeline has %d lines, want 3:\n%s", len(lines), tl.String())
+	}
+	if !strings.Contains(lines[1], "c") || !strings.Contains(lines[2], "r") {
+		t.Errorf("timeline glyphs wrong:\n%s", tl.String())
+	}
+}
+
+// TestRenderMetrics smoke-tests the CLI snapshot printer on both native
+// and JSON-round-tripped shapes.
+func TestRenderMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tcp_retransmits").Add(3)
+	reg.Gauge("compression_ratio").Set(2.5)
+	reg.Histogram("ring_step_seconds").Observe(time.Millisecond)
+	var buf bytes.Buffer
+	RenderMetrics(&buf, reg.Snapshot())
+	out := buf.String()
+	for _, want := range []string{"tcp_retransmits", "compression_ratio", "2.5000", "ring_step_seconds", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderMetrics missing %q:\n%s", want, out)
+		}
+	}
+}

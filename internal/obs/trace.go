@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records phase spans into a bounded ring buffer: once capacity
+// is reached the oldest spans are overwritten, so a tracer's memory is
+// fixed no matter how long the run. Span timestamps are nanoseconds
+// since the tracer's construction (one shared epoch per process, so
+// spans from different nodes align on one timeline).
+type Tracer struct {
+	epoch time.Time
+
+	mu    sync.Mutex
+	buf   []Span
+	next  int   // next write position
+	total int64 // spans ever recorded (≥ len(buf) once wrapped)
+}
+
+// NewTracer returns a tracer retaining at most capacity spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{epoch: time.Now(), buf: make([]Span, 0, capacity)}
+}
+
+// record appends one span, overwriting the oldest once full.
+func (t *Tracer) record(node, iter int, phase Phase, start time.Time, d time.Duration) {
+	s := Span{
+		Node:  node,
+		Iter:  iter,
+		Phase: phase,
+		Start: start.Sub(t.epoch).Nanoseconds(),
+		Dur:   d.Nanoseconds(),
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many spans were ever recorded (including ones the
+// ring has since evicted).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Snapshot returns the retained spans in record order (oldest first).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) {
+		out = append(out, t.buf[t.next:]...)
+	}
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// WriteJSONL streams the retained spans to w, one JSON object per line
+// — the trace format cmd/inctrace consumes.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, s := range t.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSpans parses a JSONL trace stream (blank lines ignored).
+func ReadSpans(r io.Reader) ([]Span, error) {
+	var out []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		out = append(out, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -24,6 +24,7 @@ import (
 
 	"inceptionn/internal/comm"
 	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/obs"
 )
 
 // Block boundaries: block b of a length-n vector split N ways.
@@ -77,6 +78,17 @@ type Options struct {
 	// confuse its messages with stale in-flight traffic from the aborted
 	// attempt; a filtering receiver discards lower-epoch tags.
 	TagOffset int
+
+	// Obs, when non-nil, records per-step send/recv/reduce phase spans, a
+	// ring_step_seconds latency histogram, and per-link receive-wait
+	// counters (the straggler signal: time this node sat blocked on its
+	// left neighbour). Nil disables all instrumentation at the cost of one
+	// pointer compare per step.
+	Obs *obs.Recorder
+
+	// ObsIter tags recorded spans with the training iteration the
+	// exchange belongs to (only meaningful with Obs set).
+	ObsIter int
 }
 
 // chunkSize returns the effective group-aligned chunk size, or 0 when
@@ -190,7 +202,24 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 
 	chunk := opt.chunkSize()
 
+	// Metric handles are resolved once per exchange; with Obs nil they are
+	// nil handles whose methods are no-ops, and the obsOn guard skips the
+	// clock reads entirely.
+	obsOn := opt.Obs != nil
+	stepHist := opt.Obs.Histogram("ring_step_seconds")
+	recvWaitNs := opt.Obs.Counter("ring_recv_wait_ns")
+	var linkWaitNs *obs.Counter
+	if obsOn {
+		// The straggler signal per inbound link: time rank blocked on left.
+		linkWaitNs = opt.Obs.Counter(fmt.Sprintf("ring_recv_wait_ns_link_%d_to_%d", left, id))
+	}
+
 	step := func(ctx context.Context, sendBlk, recvBlk, tag int, reduce bool) error {
+		var stepStart time.Time
+		if obsOn {
+			stepStart = time.Now()
+			defer func() { stepHist.Observe(time.Since(stepStart)) }()
+		}
 		stepCtx, cancel := ctx, context.CancelFunc(nil)
 		if opt.StepTimeout > 0 {
 			stepCtx, cancel = context.WithTimeout(ctx, opt.StepTimeout)
@@ -209,16 +238,31 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 
 		if chunk <= 0 {
 			// Whole-block step.
-			if err := e.SendCtx(stepCtx, right, sendBuf, tos, tag); err != nil {
+			ssp := opt.Obs.Span(id, opt.ObsIter, obs.PhaseSend)
+			err := e.SendCtx(stepCtx, right, sendBuf, tos, tag)
+			ssp.End()
+			if err != nil {
 				return fmt.Errorf("ring: node %d send block %d to %d: %w", id, sendBlk, right, err)
 			}
+			var rstart time.Time
+			if obsOn {
+				rstart = time.Now()
+			}
+			rsp := opt.Obs.Span(id, opt.ObsIter, obs.PhaseRecv)
 			rb, err := e.RecvCtx(stepCtx, left, tag)
+			rsp.End()
+			if obsOn {
+				w := time.Since(rstart).Nanoseconds()
+				recvWaitNs.Add(w)
+				linkWaitNs.Add(w)
+			}
 			if err != nil {
 				return fmt.Errorf("ring: node %d recv block %d from %d: %w", id, recvBlk, left, err)
 			}
 			if len(rb) != len(recvBuf) {
 				return fmt.Errorf("ring: node %d tag %d: block size %d, want %d", id, tag, len(rb), len(recvBuf))
 			}
+			dsp := opt.Obs.Span(id, opt.ObsIter, obs.PhaseReduce)
 			if reduce {
 				for i, v := range rb {
 					recvBuf[i] += v
@@ -226,6 +270,7 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 			} else {
 				copy(recvBuf, rb)
 			}
+			dsp.End()
 			return nil
 		}
 
@@ -236,6 +281,10 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 		// in order.
 		sendErr := make(chan error, 1)
 		go func() {
+			// One send span covers all chunks: the goroutine does nothing
+			// but send, so its wall time is the step's send time.
+			ssp := opt.Obs.Span(id, opt.ObsIter, obs.PhaseSend)
+			defer ssp.End()
 			nc := numChunks(len(sendBuf), chunk)
 			for c := 0; c < nc; c++ {
 				clo, chi := chunkBounds(len(sendBuf), chunk, c)
@@ -247,9 +296,22 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 			sendErr <- nil
 		}()
 
+		// Receive and reduce interleave per chunk; accumulate each phase's
+		// active time and record one aggregated span per phase per step
+		// rather than flooding the tracer with per-chunk events.
+		var recvDur, redDur time.Duration
+		rsp := opt.Obs.Span(id, opt.ObsIter, obs.PhaseRecv)
+		dsp := opt.Obs.Span(id, opt.ObsIter, obs.PhaseReduce)
 		nc := numChunks(len(recvBuf), chunk)
 		for c := 0; c < nc; c++ {
+			var t0 time.Time
+			if obsOn {
+				t0 = time.Now()
+			}
 			rb, err := e.RecvCtx(stepCtx, left, tag)
+			if obsOn {
+				recvDur += time.Since(t0)
+			}
 			if err != nil {
 				if cancel != nil {
 					cancel() // unblock the sender before returning
@@ -264,6 +326,9 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 				}
 				return fmt.Errorf("ring: node %d tag %d chunk %d: size %d, want %d", id, tag, c, len(rb), len(local))
 			}
+			if obsOn {
+				t0 = time.Now()
+			}
 			if reduce {
 				for i, v := range rb {
 					local[i] += v
@@ -271,6 +336,15 @@ func AllReduceGroupCtx(ctx context.Context, e comm.CtxPeer, members []int, grad 
 			} else {
 				copy(local, rb)
 			}
+			if obsOn {
+				redDur += time.Since(t0)
+			}
+		}
+		rsp.EndWith(recvDur)
+		dsp.EndWith(redDur)
+		if obsOn {
+			recvWaitNs.Add(recvDur.Nanoseconds())
+			linkWaitNs.Add(recvDur.Nanoseconds())
 		}
 		return <-sendErr
 	}

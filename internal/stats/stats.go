@@ -8,13 +8,20 @@ import (
 	"strings"
 )
 
-// Histogram counts values into uniform bins over [Min, Max); values
-// outside the range land in the edge bins (clamped), so mass is never
-// silently dropped.
+// Histogram counts values into uniform bins over [Min, Max); finite
+// values outside the range land in the edge bins (clamped), so mass is
+// never silently dropped. NaN and ±Inf observations are counted
+// separately in OutOfDomain: the bin-index arithmetic is undefined on
+// them (float64→int conversion of NaN is platform-defined in Go), and
+// attributing them to an edge bin would silently distort the
+// distribution they most likely signal a bug in.
 type Histogram struct {
 	Min, Max float64
 	Bins     []int64
-	total    int64
+	// OutOfDomain counts NaN/±Inf observations, excluded from Total and
+	// every fraction.
+	OutOfDomain int64
+	total       int64
 }
 
 // NewHistogram returns a histogram with n uniform bins over [min, max).
@@ -25,8 +32,13 @@ func NewHistogram(min, max float64, n int) *Histogram {
 	return &Histogram{Min: min, Max: max, Bins: make([]int64, n)}
 }
 
-// Observe adds one value.
+// Observe adds one value. Non-finite values (NaN, ±Inf) go to
+// OutOfDomain instead of a bin.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.OutOfDomain++
+		return
+	}
 	idx := int(float64(len(h.Bins)) * (v - h.Min) / (h.Max - h.Min))
 	if idx < 0 {
 		idx = 0
@@ -45,7 +57,8 @@ func (h *Histogram) ObserveAll(vs []float32) {
 	}
 }
 
-// Total returns the number of observed values.
+// Total returns the number of binned observations (OutOfDomain values
+// are excluded).
 func (h *Histogram) Total() int64 { return h.total }
 
 // Fraction returns bin i's share of the total mass.
@@ -105,6 +118,9 @@ func (h *Histogram) String() string {
 			bar = int(40 * frac / maxFrac)
 		}
 		fmt.Fprintf(&sb, "%+8.3f | %-40s %6.3f\n", h.BinCenter(i), strings.Repeat("#", bar), frac)
+	}
+	if h.OutOfDomain > 0 {
+		fmt.Fprintf(&sb, "     nan/inf: %d observations out of domain\n", h.OutOfDomain)
 	}
 	return sb.String()
 }

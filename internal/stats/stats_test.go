@@ -43,6 +43,39 @@ func TestHistogramClampsOutliers(t *testing.T) {
 	}
 }
 
+func TestHistogramOutOfDomain(t *testing.T) {
+	h := NewHistogram(-1, 1, 4)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(0.25)
+	if h.OutOfDomain != 3 {
+		t.Fatalf("OutOfDomain = %d, want 3", h.OutOfDomain)
+	}
+	if h.Total() != 1 {
+		t.Fatalf("Total = %d, want 1 (non-finite values must not be binned)", h.Total())
+	}
+	var binned int64
+	for _, b := range h.Bins {
+		binned += b
+	}
+	if binned != 1 {
+		t.Errorf("bins hold %d observations, want 1", binned)
+	}
+	if f := h.Fraction(2); f != 1 {
+		t.Errorf("Fraction(2) = %g, want 1 (fractions must exclude out-of-domain mass)", f)
+	}
+	if s := h.String(); !strings.Contains(s, "nan/inf: 3") {
+		t.Errorf("String() should report out-of-domain count:\n%s", s)
+	}
+	// A histogram with no out-of-domain mass must not mention it.
+	h2 := NewHistogram(-1, 1, 2)
+	h2.Observe(0)
+	if strings.Contains(h2.String(), "nan/inf") {
+		t.Error("String() mentions nan/inf with none observed")
+	}
+}
+
 func TestHistogramFractionWithin(t *testing.T) {
 	h := NewHistogram(-1, 1, 100)
 	rng := rand.New(rand.NewSource(1))

@@ -39,6 +39,7 @@ import (
 	"inceptionn/internal/fault"
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/nic"
+	"inceptionn/internal/obs"
 )
 
 // Errors surfaced by the fault-tolerant paths.
@@ -96,6 +97,64 @@ type ClusterOptions struct {
 	Chaos *fault.Injector
 	// Retry tunes the recovery protocol; zero values take defaults.
 	Retry RetryPolicy
+	// Obs, if non-nil, records the transport's recovery counters
+	// (tcp_retransmits, tcp_crc_failures, tcp_nacks, tcp_degraded_frames,
+	// tcp_backoff_ns), wire-byte counters with the live compression_ratio
+	// gauge, and codec phase spans.
+	Obs *obs.Recorder
+}
+
+// clusterObs holds the cluster's metric handles, resolved once at
+// construction so hot paths pay only nil checks and atomic adds.
+type clusterObs struct {
+	rec         *obs.Recorder
+	retransmits *obs.Counter
+	crcFailures *obs.Counter
+	nacks       *obs.Counter
+	degraded    *obs.Counter
+	backoffNs   *obs.Counter
+	raw         *obs.Counter
+	compressed  *obs.Counter
+	ratio       *obs.Gauge
+
+	// Running totals behind the ratio gauge (compressed frames only).
+	compRawB atomic.Int64
+	compOutB atomic.Int64
+}
+
+func newClusterObs(rec *obs.Recorder) *clusterObs {
+	if rec == nil {
+		return nil
+	}
+	return &clusterObs{
+		rec:         rec,
+		retransmits: rec.Counter("tcp_retransmits"),
+		crcFailures: rec.Counter("tcp_crc_failures"),
+		nacks:       rec.Counter("tcp_nacks"),
+		degraded:    rec.Counter("tcp_degraded_frames"),
+		backoffNs:   rec.Counter("tcp_backoff_ns"),
+		raw:         rec.Counter("wire_bytes_raw"),
+		compressed:  rec.Counter("wire_bytes_compressed"),
+		ratio:       rec.Gauge("compression_ratio"),
+	}
+}
+
+// observeFrame accounts one data-frame transmission (retransmits
+// included — they cross the wire too).
+func (o *clusterObs) observeFrame(rawBytes, bodyBytes int64, compressed bool) {
+	if o == nil {
+		return
+	}
+	o.raw.Add(rawBytes)
+	if !compressed {
+		return
+	}
+	o.compressed.Add(bodyBytes)
+	r := o.compRawB.Add(rawBytes)
+	c := o.compOutB.Add(bodyBytes)
+	if c > 0 {
+		o.ratio.Set(float64(r) / float64(c))
+	}
 }
 
 // Cluster is a fully connected set of TCP nodes on the loopback interface.
@@ -105,6 +164,7 @@ type Cluster struct {
 	useC  bool
 	chaos *fault.Injector
 	retry RetryPolicy
+	cobs  *clusterObs
 
 	nodes []*Node
 }
@@ -191,6 +251,7 @@ func NewClusterWithOptions(n int, opts ClusterOptions) (*Cluster, error) {
 		useC:  opts.Compress,
 		chaos: opts.Chaos,
 		retry: opts.Retry.withDefaults(),
+		cobs:  newClusterObs(opts.Obs),
 	}
 
 	listeners := make([]net.Listener, n)
@@ -418,8 +479,12 @@ func (nd *Node) transmit(dst int, seq uint32, of *outFrame, raw bool) error {
 	attempt := of.attempts
 	of.attempts++
 	ol.mu.Unlock()
+	cobs := nd.cluster.cobs
 	if attempt > 0 {
 		nd.stats[dst].Retransmits.Add(1)
+		if cobs != nil {
+			cobs.retransmits.Add(1)
+		}
 	}
 
 	h := frameHeader{
@@ -431,10 +496,15 @@ func (nd *Node) transmit(dst int, seq uint32, of *outFrame, raw bool) error {
 	}
 	var body []byte
 	if nd.cluster.useC && of.tos == comm.ToSCompress && !raw {
+		var sp obs.ActiveSpan
+		if cobs != nil {
+			sp = cobs.rec.Span(nd.id, -1, obs.PhaseCompress)
+		}
 		nd.ceMu.Lock()
 		data, bits := nd.ce.CompressPayload(of.payload)
 		body = append([]byte(nil), data...) // engine buffer is reused per call
 		nd.ceMu.Unlock()
+		sp.End()
 		h.flags |= flagCompressed
 		h.bitLen = uint32(bits)
 	} else {
@@ -475,6 +545,7 @@ func (nd *Node) transmit(dst int, seq uint32, of *outFrame, raw bool) error {
 		bit := v.CorruptBit % (8 * len(body))
 		body[bit/8] ^= 1 << (bit % 8)
 	}
+	cobs.observeFrame(4*int64(len(of.payload)), int64(len(body)), h.flags&flagCompressed != 0)
 	if v.Drop {
 		return nil // the frame "left" but never hits the wire
 	}
@@ -553,6 +624,11 @@ func (nd *Node) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error
 			il.mu.Lock()
 			exp := il.expected
 			il.mu.Unlock()
+			if cobs := nd.cluster.cobs; cobs != nil {
+				// The expired probe interval is time spent backing off.
+				cobs.backoffNs.Add(rto.Nanoseconds())
+				cobs.nacks.Add(1)
+			}
 			nd.sendCtl(src, kindNack, exp, false)
 			if rto *= 2; rto > nd.cluster.retry.MaxRTO {
 				rto = nd.cluster.retry.MaxRTO
@@ -674,8 +750,13 @@ func (nd *Node) handleNack(peer int, seq uint32, wantRaw bool) {
 // ACKing progress and NACKing anomalies. It returns false only when the
 // node is shutting down.
 func (nd *Node) handleData(peer int, h frameHeader, body []byte) bool {
+	cobs := nd.cluster.cobs
 	if bodyCRC(body) != h.crc {
 		nd.stats[peer].Nacks.Add(1)
+		if cobs != nil {
+			cobs.crcFailures.Add(1)
+			cobs.nacks.Add(1)
+		}
 		nd.sendCtl(peer, kindNack, h.seq, false)
 		return true
 	}
@@ -685,14 +766,22 @@ func (nd *Node) handleData(peer int, h frameHeader, body []byte) bool {
 			nd.pushErr(fmt.Errorf("tcpfabric: node %d compressed frame without ToS from %d", nd.id, peer))
 			return false
 		}
+		var sp obs.ActiveSpan
+		if cobs != nil {
+			sp = cobs.rec.Span(nd.id, -1, obs.PhaseDecompress)
+		}
 		nd.deMu.Lock()
 		out, err := nd.de.DecompressPayload(body, int(h.bitLen), int(h.count))
 		nd.deMu.Unlock()
+		sp.End()
 		if err != nil {
 			// The bits survived the wire (CRC ok) but the codec cannot
 			// decode them — a glitching engine. Degrade: re-request the
 			// block raw so training continues uncompressed for this hop.
 			nd.stats[peer].Nacks.Add(1)
+			if cobs != nil {
+				cobs.nacks.Add(1)
+			}
 			nd.sendCtl(peer, kindNack, h.seq, true)
 			return true
 		}
@@ -701,6 +790,9 @@ func (nd *Node) handleData(peer int, h frameHeader, body []byte) bool {
 		out, err := decodeRawPayload(h, body)
 		if err != nil {
 			nd.stats[peer].Nacks.Add(1)
+			if cobs != nil {
+				cobs.nacks.Add(1)
+			}
 			nd.sendCtl(peer, kindNack, h.seq, false)
 			return true
 		}
@@ -708,6 +800,9 @@ func (nd *Node) handleData(peer int, h frameHeader, body []byte) bool {
 		if h.flags&flagRawFallback != 0 {
 			nd.degraded.Add(1)
 			nd.stats[peer].Degraded.Add(1)
+			if cobs != nil {
+				cobs.degraded.Add(1)
+			}
 		}
 	}
 
@@ -736,6 +831,9 @@ func (nd *Node) handleData(peer int, h frameHeader, body []byte) bool {
 		gap := il.expected
 		il.mu.Unlock()
 		nd.stats[peer].Nacks.Add(1)
+		if cobs != nil {
+			cobs.nacks.Add(1)
+		}
 		nd.sendCtl(peer, kindNack, gap, false)
 		return true
 	default:

@@ -20,6 +20,7 @@ import (
 	"inceptionn/internal/data"
 	"inceptionn/internal/elastic"
 	"inceptionn/internal/fault"
+	"inceptionn/internal/obs"
 	"inceptionn/internal/ring"
 )
 
@@ -153,6 +154,13 @@ type elasticRun struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// Per-worker wall-clock attribution (indexed by worker id; each
+	// goroutine owns its slot, wg.Wait orders the final read).
+	computeNs []int64
+	commNs    []int64
+	replays   *obs.Counter   // elastic_replays (nil-safe)
+	ckptHist  *obs.Histogram // checkpoint_write_seconds (nil-safe)
+
 	mu      sync.Mutex
 	evals   map[int]EvalPoint // keyed by iter; replays overwrite
 	weights map[int][]float32
@@ -231,7 +239,8 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	}
 
 	fabric := comm.NewFabric(o.Workers, o.Processor)
-	coord := elastic.NewCoordinator(o.Workers, elastic.Config{SuspectAfter: o.SuspectAfter})
+	fabric.SetRecorder(o.Obs)
+	coord := elastic.NewCoordinator(o.Workers, elastic.Config{SuspectAfter: o.SuspectAfter, Obs: o.Obs})
 	defer coord.Close()
 	if o.SuspectAfter > 0 {
 		coord.WatchFabric(fabric)
@@ -243,9 +252,13 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 
 	r := &elasticRun{
 		o: o, iters: iters, coord: coord, fabric: fabric, testDS: testDS,
-		evals:   make(map[int]EvalPoint),
-		weights: make(map[int][]float32),
-		final:   make(map[int][2]float64),
+		computeNs: make([]int64, o.Workers),
+		commNs:    make([]int64, o.Workers),
+		replays:   o.Obs.Counter("elastic_replays"),
+		ckptHist:  o.Obs.Histogram("checkpoint_write_seconds"),
+		evals:     make(map[int]EvalPoint),
+		weights:   make(map[int][]float32),
+		final:     make(map[int][2]float64),
 	}
 	if ck != nil {
 		r.startIter = ck.NextIter
@@ -334,6 +347,9 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	r.mu.Unlock()
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
+	res.ComputeSeconds = nsSeconds(r.computeNs)
+	res.CommSeconds = nsSeconds(r.commNs)
+	res.StragglerWaitSeconds = fabricRecvWaitSeconds(fabric)
 	if interrupted {
 		return res, ErrInterrupted
 	}
@@ -360,7 +376,7 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	}
 	var tp elastic.Transport = r.fabric.Endpoint(id)
 	if inj != nil {
-		fp := fault.Wrap(r.fabric.Endpoint(id), inj, fault.Options{})
+		fp := fault.Wrap(r.fabric.Endpoint(id), inj, fault.Options{Finalize: o.finalizer()})
 		defer fp.Close()
 		tp = fp
 	}
@@ -369,6 +385,9 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	iter := r.startIter
 	pending := false   // a snapshot for iter exists and its exchange has not committed
 	recovered := false // last committed iteration was a post-recovery replay
+	iterHist := o.Obs.Histogram("train_iter_seconds")
+	lossGauge := o.Obs.Gauge("train_loss")
+	var lastLoss float64
 	// view is the membership this worker last operated under — the epoch
 	// its exchanges commit under, its checkpoint gathers are keyed by, and
 	// the one it halts or completes with. A successful exchange implies
@@ -376,6 +395,7 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	// decisions are identical across members by construction.
 	view := r.coord.View()
 	for iter < r.iters {
+		passStart := time.Now()
 		if err := r.ctx.Err(); err != nil {
 			return err // a sibling hit a hard fault
 		}
@@ -408,7 +428,9 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 		}
 		view = cur
 		if !pending {
-			w.localGradient()
+			t0 := time.Now()
+			csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+			lastLoss = w.localGradient()
 			if o.LocalGradTransform != nil {
 				o.LocalGradTransform(w.grad)
 			}
@@ -417,11 +439,13 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 				residualPre = append([]float32(nil), w.residual...)
 			}
 			w.applyErrorFeedback(o)
+			csp.End()
 			if id == view.Leader() && o.GradHook != nil {
 				o.GradHook(iter, w.grad)
 			}
 			w.takeSnapshot(iter, residualPre)
 			pending = true
+			r.computeNs[id] += time.Since(t0).Nanoseconds()
 		}
 
 		// The exchange runs under the epoch context: a death declaration
@@ -432,10 +456,14 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			StepTimeout: o.StepTimeout,
 			ChunkSize:   o.ChunkSize,
 			TagOffset:   elastic.TagBase(view.Epoch),
+			Obs:         o.Obs,
+			ObsIter:     iter,
 		}
+		tx := time.Now()
 		exErr := ring.AllReduceGroupCtx(exCtx, peer, view.Members, w.grad, o.gradTos(), o.finalizer(), ropt)
 		stopLink()
 		exCancel()
+		r.commNs[id] += time.Since(tx).Nanoseconds()
 
 		if exErr != nil && errors.Is(exErr, fault.ErrCrashed) {
 			// This node is the casualty: its own transport refuses service.
@@ -454,8 +482,14 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			// rolls this commit back deterministically when a survivor
 			// aborted the same iteration.
 			// Renormalize by the members that contributed.
+			ta := time.Now()
 			w.applyAveraged(iter, w.grad, o, len(view.Members))
+			r.computeNs[id] += time.Since(ta).Nanoseconds()
 			pending = false
+			if id == view.Leader() {
+				iterHist.Observe(time.Since(passStart))
+				lossGauge.Set(lastLoss)
+			}
 			if id == view.Leader() && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == r.iters-1) {
 				acc, loss := evaluate(w.net, r.testDS, o.EvalSamples)
 				r.recordEval(EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -539,16 +573,24 @@ func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending bool) (i
 		switch {
 		case replay < iter:
 			// A survivor aborted mid-exchange of replay; everyone rolls back.
-			if err := w.restoreSnapshot(replay); err != nil {
+			rsp := r.o.Obs.Span(id, replay, obs.PhaseReplay)
+			err := w.restoreSnapshot(replay)
+			rsp.End()
+			if err != nil {
 				return 0, false, cur, err
 			}
+			r.replays.Add(1)
 			return replay, true, cur, nil
 		case pending:
 			// Common iteration, but this worker's gradient buffer is dirty
 			// from the aborted exchange: restore the pristine snapshot.
-			if err := w.restoreSnapshot(iter); err != nil {
+			rsp := r.o.Obs.Span(id, iter, obs.PhaseReplay)
+			err := w.restoreSnapshot(iter)
+			rsp.End()
+			if err != nil {
 				return 0, false, cur, err
 			}
+			r.replays.Add(1)
 			return iter, true, cur, nil
 		default:
 			// Nothing in flight (the death landed between exchanges).
@@ -624,8 +666,13 @@ func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint6
 			ck.Residuals[m] = mc.residual
 		}
 	}
-	if _, err := ck.WriteFile(r.o.CheckpointDir); err != nil {
-		return err
+	wt := time.Now()
+	csp := r.o.Obs.Span(id, nextIter, obs.PhaseCheckpoint)
+	_, werr := ck.WriteFile(r.o.CheckpointDir)
+	csp.End()
+	r.ckptHist.Observe(time.Since(wt))
+	if werr != nil {
+		return werr
 	}
 	return nil
 }

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"inceptionn/internal/data"
 	"inceptionn/internal/fault"
 	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/obs"
 	"inceptionn/internal/ring"
 	"inceptionn/internal/tcpfabric"
 )
@@ -34,7 +36,7 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	if o.EvalSamples == 0 {
 		o.EvalSamples = 256
 	}
-	copts := tcpfabric.ClusterOptions{Compress: o.Compress, Bound: bound}
+	copts := tcpfabric.ClusterOptions{Compress: o.Compress, Bound: bound, Obs: o.Obs}
 	if o.Chaos != nil {
 		copts.Chaos = fault.NewInjector(o.Workers, *o.Chaos)
 	}
@@ -82,27 +84,43 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	var res Result
 	var wg sync.WaitGroup
 	errs := make([]error, o.Workers)
+	computeNs := make([]int64, o.Workers)
+	commNs := make([]int64, o.Workers)
 	for id := 0; id < o.Workers; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
 			node := cluster.Node(id)
+			iterHist := o.Obs.Histogram("train_iter_seconds")
+			lossGauge := o.Obs.Gauge("train_loss")
 			for iter := 0; iter < iters; iter++ {
-				w.localGradient()
+				t0 := time.Now()
+				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+				loss := w.localGradient()
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
+				csp.End()
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
+				tc := time.Now()
+				computeNs[id] += tc.Sub(t0).Nanoseconds()
 				if err := ring.AllReduceCtx(ctx, node, w.grad, o.gradTos(), finalize,
-					o.ringOptions()); err != nil {
+					o.ringOptions(iter)); err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel() // unblock the other workers' ring steps
 					return
 				}
+				tx := time.Now()
+				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)
+				computeNs[id] += time.Since(tx).Nanoseconds()
+				if id == 0 {
+					iterHist.Observe(time.Since(t0))
+					lossGauge.Set(loss)
+				}
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -132,6 +150,8 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	for id := 0; id < o.Workers; id++ {
 		res.WireBytes += cluster.Node(id).SentBytes()
 	}
+	res.ComputeSeconds = nsSeconds(computeNs)
+	res.CommSeconds = nsSeconds(commNs)
 	// Raw bytes: each worker ships 2(N-1)/N of the model per iteration.
 	modelBytes := int64(4 * build(rand.New(rand.NewSource(o.Seed))).NumParams())
 	perWorkerPerIter := modelBytes * 2 * int64(o.Workers-1) / int64(o.Workers)

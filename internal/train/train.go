@@ -18,6 +18,7 @@ import (
 	"inceptionn/internal/fault"
 	"inceptionn/internal/hierarchy"
 	"inceptionn/internal/nn"
+	"inceptionn/internal/obs"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/ring"
 )
@@ -131,6 +132,13 @@ type Options struct {
 	// and the run returns ErrInterrupted.
 	Stop <-chan struct{}
 
+	// Obs, when non-nil, instruments the run: compute/exchange phase spans
+	// per worker and iteration, the train_iter_seconds histogram and
+	// train_loss gauge (worker 0), plus the fabric-, ring- and
+	// elastic-layer metrics those components emit when a recorder reaches
+	// them. Nil (the zero value) disables all of it.
+	Obs *obs.Recorder
+
 	// ErrorFeedback enables residual error feedback on the lossy codec
 	// (Seide et al.'s 1-bit SGD technique, cited by the paper as [25]):
 	// each worker adds the previous iteration's compression error to its
@@ -157,6 +165,16 @@ type Result struct {
 	// Traffic totals across the fabric for the whole run.
 	RawBytes  int64
 	WireBytes int64
+
+	// Aggregate timing over all workers (the paper's computation-vs-
+	// communication split): time in local gradient computation + weight
+	// update, time blocked in the gradient exchange, and — a subset of
+	// CommSeconds — time receivers sat waiting on peers (the straggler
+	// signal, from the fabric's per-link wait counters). Populated by the
+	// in-process runners whether or not Options.Obs is set.
+	ComputeSeconds       float64
+	CommSeconds          float64
+	StragglerWaitSeconds float64
 
 	// FinalWeights is worker 0's weight vector (all replicas are identical
 	// under the ring algorithm; verified by tests).
@@ -191,9 +209,31 @@ func Run(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Res
 	}
 }
 
-// ringOptions returns the ring exchange tuning derived from o.
-func (o Options) ringOptions() ring.Options {
-	return ring.Options{StepTimeout: o.StepTimeout, ChunkSize: o.ChunkSize}
+// ringOptions returns the ring exchange tuning derived from o for the
+// given training iteration (spans recorded inside the exchange are
+// attributed to it).
+func (o Options) ringOptions(iter int) ring.Options {
+	return ring.Options{StepTimeout: o.StepTimeout, ChunkSize: o.ChunkSize, Obs: o.Obs, ObsIter: iter}
+}
+
+// nsSeconds sums a per-worker nanosecond tally into seconds.
+func nsSeconds(ns []int64) float64 {
+	var total int64
+	for _, v := range ns {
+		total += v
+	}
+	return time.Duration(total).Seconds()
+}
+
+// fabricRecvWaitSeconds sums receive-wait time over every fabric link.
+func fabricRecvWaitSeconds(f *comm.Fabric) float64 {
+	var total int64
+	for i := 0; i < f.N(); i++ {
+		for j := 0; j < f.N(); j++ {
+			total += f.Stats(i, j).RecvWaitNanos.Load()
+		}
+	}
+	return time.Duration(total).Seconds()
 }
 
 // firstError picks the causal failure out of a per-worker error array: the
@@ -361,32 +401,49 @@ func evaluate(net *nn.Network, ds data.Dataset, n int) (acc, loss float64) {
 // and surfaces as the returned error.
 func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
 	fabric := comm.NewFabric(o.Workers, o.Processor)
+	fabric.SetRecorder(o.Obs)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var res Result
 	var wg sync.WaitGroup
 	errs := make([]error, o.Workers)
+	computeNs := make([]int64, o.Workers)
+	commNs := make([]int64, o.Workers)
 	for id := 0; id < o.Workers; id++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
 			e := comm.AsCtxPeer(fabric.Endpoint(id))
+			iterHist := o.Obs.Histogram("train_iter_seconds")
+			lossGauge := o.Obs.Gauge("train_loss")
 			for iter := 0; iter < iters; iter++ {
-				w.localGradient()
+				t0 := time.Now()
+				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+				loss := w.localGradient()
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
 				w.applyErrorFeedback(o)
+				csp.End()
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				if err := ring.AllReduceCtx(ctx, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions()); err != nil {
+				tc := time.Now()
+				computeNs[id] += tc.Sub(t0).Nanoseconds()
+				if err := ring.AllReduceCtx(ctx, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions(iter)); err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel() // unblock the other workers' ring steps
 					return
 				}
+				tx := time.Now()
+				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)
+				computeNs[id] += time.Since(tx).Nanoseconds()
+				if id == 0 {
+					iterHist.Observe(time.Since(t0))
+					lossGauge.Set(loss)
+				}
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -405,6 +462,9 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
+	res.ComputeSeconds = nsSeconds(computeNs)
+	res.CommSeconds = nsSeconds(commNs)
+	res.StragglerWaitSeconds = fabricRecvWaitSeconds(fabric)
 	return res, nil
 }
 
@@ -414,12 +474,15 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 // broadcasts weights. Only the gradient leg is compressible.
 func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
 	fabric := comm.NewFabric(o.Workers+1, o.Processor)
+	fabric.SetRecorder(o.Obs)
 	aggID := o.Workers
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var res Result
 	var wg sync.WaitGroup
 	errs := make([]error, o.Workers+1)
+	computeNs := make([]int64, o.Workers)
+	commNs := make([]int64, o.Workers)
 
 	// Aggregator.
 	wg.Add(1)
@@ -448,7 +511,7 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 					net.SetWeightVector(wv)
 				}
 				return wv
-			}, o.ringOptions())
+			}, o.ringOptions(iter))
 			if err != nil {
 				errs[aggID] = fmt.Errorf("train: aggregator iter %d: %w", iter, err)
 				cancel()
@@ -466,22 +529,34 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
 			e := comm.AsCtxPeer(fabric.Endpoint(id))
+			iterHist := o.Obs.Histogram("train_iter_seconds")
+			lossGauge := o.Obs.Gauge("train_loss")
 			for iter := 0; iter < iters; iter++ {
-				w.localGradient()
+				t0 := time.Now()
+				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+				loss := w.localGradient()
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
 				w.applyErrorFeedback(o)
+				csp.End()
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
+				tc := time.Now()
+				computeNs[id] += tc.Sub(t0).Nanoseconds()
 				weights, err := ring.WorkerExchangeCtx(ctx, e, aggID, w.grad, o.gradTos())
 				if err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel()
 					return
 				}
+				commNs[id] += time.Since(tc).Nanoseconds()
 				w.net.SetWeightVector(weights)
+				if id == 0 {
+					iterHist.Observe(time.Since(t0))
+					lossGauge.Set(loss)
+				}
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -495,6 +570,9 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
+	res.ComputeSeconds = nsSeconds(computeNs)
+	res.CommSeconds = nsSeconds(commNs)
+	res.StragglerWaitSeconds = fabricRecvWaitSeconds(fabric)
 	return res, nil
 }
 
@@ -511,11 +589,14 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 		return Result{}, err
 	}
 	fabric := comm.NewFabric(topo.FabricSize(), o.Processor)
+	fabric.SetRecorder(o.Obs)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var res Result
 	var wg sync.WaitGroup
 	errs := make([]error, topo.FabricSize())
+	computeNs := make([]int64, o.Workers)
+	commNs := make([]int64, o.Workers)
 
 	if mode == hierarchy.ModeAggregatorTree {
 		wg.Add(1)
@@ -525,7 +606,7 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 			aggID := topo.AggregatorID()
 			e := comm.AsCtxPeer(fabric.Endpoint(aggID))
 			for iter := 0; iter < iters; iter++ {
-				if err := hierarchy.RunAggregatorCtx(ctx, topo, e, gradLen, o.ringOptions()); err != nil {
+				if err := hierarchy.RunAggregatorCtx(ctx, topo, e, gradLen, o.ringOptions(iter)); err != nil {
 					errs[aggID] = fmt.Errorf("train: aggregator iter %d: %w", iter, err)
 					cancel()
 					return
@@ -540,21 +621,35 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 			defer wg.Done()
 			w := newWorker(id, build, trainDS, o)
 			e := comm.AsCtxPeer(fabric.Endpoint(id))
+			iterHist := o.Obs.Histogram("train_iter_seconds")
+			lossGauge := o.Obs.Gauge("train_loss")
 			for iter := 0; iter < iters; iter++ {
-				w.localGradient()
+				t0 := time.Now()
+				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+				loss := w.localGradient()
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
 				w.applyErrorFeedback(o)
+				csp.End()
 				if id == 0 && o.GradHook != nil {
 					o.GradHook(iter, w.grad)
 				}
-				if err := hierarchy.AllReduceCtx(ctx, topo, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions()); err != nil {
+				tc := time.Now()
+				computeNs[id] += tc.Sub(t0).Nanoseconds()
+				if err := hierarchy.AllReduceCtx(ctx, topo, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions(iter)); err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel()
 					return
 				}
+				tx := time.Now()
+				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)
+				computeNs[id] += time.Since(tx).Nanoseconds()
+				if id == 0 {
+					iterHist.Observe(time.Since(t0))
+					lossGauge.Set(loss)
+				}
 				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
 					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
 					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
@@ -573,6 +668,9 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
+	res.ComputeSeconds = nsSeconds(computeNs)
+	res.CommSeconds = nsSeconds(commNs)
+	res.StragglerWaitSeconds = fabricRecvWaitSeconds(fabric)
 	return res, nil
 }
 
@@ -625,7 +723,7 @@ func ReplicaWeights(build Builder, trainDS data.Dataset, iters int, o Options) (
 					o.LocalGradTransform(w.grad)
 				}
 				w.applyErrorFeedback(o)
-				if err := ring.AllReduceCtx(ctx, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions()); err != nil {
+				if err := ring.AllReduceCtx(ctx, e, w.grad, o.gradTos(), o.finalizer(), o.ringOptions(iter)); err != nil {
 					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
 					cancel()
 					return
