@@ -2,7 +2,7 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench3 bench4 benchsmoke chaostest ckptsmoke obssmoke ci
+.PHONY: build test vet race fuzz bench bench3 bench4 bench5 benchsmoke chaostest ckptsmoke obssmoke ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
@@ -10,6 +10,8 @@ BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompr
 BENCH3_PATTERN = BenchmarkCheckpointWrite|BenchmarkCheckpointRestore
 # The observability-overhead pair behind BENCH_4.json.
 BENCH4_PATTERN = BenchmarkObsOverhead
+# The trace-collection benchmarks behind bench/BENCH_5.json.
+BENCH5_PATTERN = BenchmarkCollectorMerge|BenchmarkObsOverhead
 
 build:
 	$(GO) build ./...
@@ -56,6 +58,19 @@ bench4:
 		-overhead-on 'BenchmarkObsOverhead/recorderOn' \
 		-max-overhead-pct 2 -out BENCH_4.json
 
+# Trace-collection report: the cross-node merge must sustain its
+# throughput floor and the recorder must stay under the 2% overhead
+# bound; bench/BENCH_5.json fails the build otherwise.
+bench5:
+	$(GO) test -run '^$$' -bench 'BenchmarkCollectorMerge' -benchmem . | tee bench/bench_collect.txt
+	$(GO) test -run '^$$' -bench 'BenchmarkObsOverhead' -benchtime 5x -count 1 . | tee -a bench/bench_collect.txt
+	$(GO) run ./cmd/benchjson -multi bench/bench_collect.txt \
+		-overhead-off 'BenchmarkObsOverhead/recorderOff' \
+		-overhead-on 'BenchmarkObsOverhead/recorderOn' \
+		-max-overhead-pct 2 \
+		-min-mb-per-s 'BenchmarkCollectorMerge:50' \
+		-out bench/BENCH_5.json
+
 # One-iteration smoke run of the same benchmarks, to keep them compiling
 # and executing under CI without paying for a full measurement.
 benchsmoke:
@@ -72,12 +87,23 @@ chaostest:
 ckptsmoke:
 	$(GO) test ./internal/train -run 'TestElasticStopResumeMatchesUninterrupted|TestRunCheckpointRoundTripAndCorruptFallback' -count=1
 
-# Observability smoke: a short traced training run must produce a span
-# trace that inctrace renders into a non-empty per-node breakdown
-# (inctrace exits nonzero on an empty trace).
+# Observability smoke, in three acts:
+#  1. legacy single-file path — a traced run must render a non-empty
+#     per-node breakdown (inctrace exits nonzero on an empty trace);
+#  2. collect→merge→blame round trip — a 3-worker run with an injected
+#     straggler writes per-node trace files, `inctrace merge` aligns
+#     them on their meta epochs, and `inctrace blame` must attribute the
+#     critical path to the straggler;
+#  3. the live-endpoint collector test (clock handshake + skew
+#     correction) against real HTTP servers.
 obssmoke:
 	$(GO) run ./cmd/inctrain -model hdc-small -workers 4 -iters 30 -eval 30 -compress \
 		-trace-out bench/obssmoke_trace.jsonl
 	$(GO) run ./cmd/inctrace -no-timeline bench/obssmoke_trace.jsonl | grep -q 'trace wall clock'
+	$(GO) run ./cmd/inctrain -model hdc-small -workers 3 -iters 20 -eval 20 \
+		-straggle 1:25ms -trace-dir bench/obssmoke_nodes
+	$(GO) run ./cmd/inctrace merge -out bench/obssmoke_merged.jsonl bench/obssmoke_nodes/trace_node*.jsonl
+	$(GO) run ./cmd/inctrace blame -min-gap 2ms bench/obssmoke_merged.jsonl | grep -q 'gating: node 1'
+	$(GO) test ./internal/obs -run 'TestCollectorLiveEndpoints' -count=1
 
 ci: vet chaostest ckptsmoke obssmoke race benchsmoke

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"unsafe"
 
 	"inceptionn/internal/bitio"
 	"inceptionn/internal/comm"
@@ -507,6 +508,45 @@ func BenchmarkObsOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCollectorMerge measures the cross-node trace merge behind
+// BENCH_5.json: eight per-node span sets with distinct trace-meta epochs
+// aligned, node-forced, time-sorted, and rebased onto one timeline.
+func BenchmarkCollectorMerge(b *testing.B) {
+	const nodes = 8
+	const spansPerNode = 4096
+	sources := make([][]obs.Span, nodes)
+	for n := range sources {
+		spans := make([]obs.Span, spansPerNode)
+		for i := range spans {
+			spans[i] = obs.Span{
+				Node:  n,
+				Iter:  i / int(obs.NumPhases),
+				Phase: obs.Phase(i % int(obs.NumPhases)),
+				Start: int64(i) * 1000,
+				Dur:   900,
+			}
+		}
+		sources[n] = spans
+	}
+	var span obs.Span
+	b.SetBytes(int64(nodes * spansPerNode * int(unsafe.Sizeof(span))))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := obs.NewCollector()
+		for n, spans := range sources {
+			c.AddSpans(fmt.Sprintf("node%d", n), n, int64(1_000_000+n*137), spans)
+		}
+		m, err := c.Merge()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m.Spans) != nodes*spansPerNode {
+			b.Fatalf("merged %d spans, want %d", len(m.Spans), nodes*spansPerNode)
+		}
+	}
 }
 
 // BenchmarkCheckpointWrite measures the durable elastic-checkpoint write

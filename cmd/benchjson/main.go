@@ -111,6 +111,7 @@ func run() error {
 	overheadOff := flag.String("overhead-off", "", "overhead mode: baseline benchmark name in -multi")
 	overheadOn := flag.String("overhead-on", "", "overhead mode: instrumented benchmark name in -multi")
 	maxOverhead := flag.Float64("max-overhead-pct", 0, "overhead mode: fail when overhead_pct exceeds this bound (0 = no bound)")
+	minMBPerS := flag.String("min-mb-per-s", "", "throughput gate: comma-separated name:value pairs; fail when a named benchmark reports less MB/s")
 	flag.Parse()
 	if *multi == "" {
 		return fmt.Errorf("-multi is required")
@@ -145,6 +146,29 @@ func run() error {
 	for i := 1; i < len(entries); i++ {
 		for j := i; j > 0 && entries[j].Name < entries[j-1].Name; j-- {
 			entries[j], entries[j-1] = entries[j-1], entries[j]
+		}
+	}
+
+	// Throughput gates: each "name:value" pair demands that benchmark
+	// reported at least value MB/s (it must have used b.SetBytes).
+	if *minMBPerS != "" {
+		for _, part := range strings.Split(*minMBPerS, ",") {
+			kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+			if len(kv) != 2 {
+				return fmt.Errorf("bad -min-mb-per-s entry %q, want name:value", part)
+			}
+			bound, err := strconv.ParseFloat(kv[1], 64)
+			if err != nil {
+				return fmt.Errorf("bad -min-mb-per-s bound in %q: %w", part, err)
+			}
+			e, ok := multiRes[kv[0]]
+			if !ok {
+				return fmt.Errorf("-min-mb-per-s: benchmark %q not found in %s", kv[0], *multi)
+			}
+			if e.MBPerSec < bound {
+				return fmt.Errorf("%s throughput %.1f MB/s is below the %.1f MB/s bound", e.Name, e.MBPerSec, bound)
+			}
+			fmt.Printf("throughput: %s %.1f MB/s (bound %.1f MB/s)\n", e.Name, e.MBPerSec, bound)
 		}
 	}
 

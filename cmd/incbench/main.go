@@ -6,16 +6,100 @@
 //	incbench -list
 //	incbench -run fig12
 //	incbench -run all [-full] [-seed N]
+//	incbench -simtrace sim.jsonl [-sim-workers 4] [-sim-straggle 2:5ms]
+//
+// The -simtrace mode writes a fluid-flow-simulated ring exchange as a
+// span trace in the same schema a real run emits, so `inctrace blame`
+// and `inctrace calibrate -measured run.jsonl -sim sim.jsonl` work on
+// it directly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
+	"inceptionn/internal/eventsim"
 	"inceptionn/internal/experiments"
+	"inceptionn/internal/netsim"
+	"inceptionn/internal/obs"
 )
+
+// parseSimStraggle parses "node:dur[,node:dur...]" (e.g. "2:5ms") into
+// per-node extra compute seconds.
+func parseSimStraggle(spec string, workers int) ([]float64, error) {
+	delays := make([]float64, workers)
+	if spec == "" {
+		return delays, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), ":", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -sim-straggle entry %q, want node:duration", part)
+		}
+		node, err := strconv.Atoi(kv[0])
+		if err != nil || node < 0 || node >= workers {
+			return nil, fmt.Errorf("bad -sim-straggle node %q (workers=%d)", kv[0], workers)
+		}
+		d, err := time.ParseDuration(kv[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad -sim-straggle duration %q: %v", kv[1], err)
+		}
+		delays[node] = d.Seconds()
+	}
+	return delays, nil
+}
+
+// runSimTrace simulates -sim-iters ring all-reduce iterations with the
+// fluid-flow event simulator and writes the spans as trace JSONL.
+func runSimTrace(out string, workers, iters int, bytes int64, compute float64, straggle string) error {
+	if workers < 2 {
+		return fmt.Errorf("-sim-workers must be >= 2, got %d", workers)
+	}
+	delays, err := parseSimStraggle(straggle, workers)
+	if err != nil {
+		return err
+	}
+	np := netsim.Default10GbE()
+	p := eventsim.Params{
+		LineRate:  np.LineRate,
+		StreamCap: np.StreamEfficiency * np.LineRate,
+		Latency:   np.Latency,
+	}
+	blockBytes := float64(bytes) / float64(workers)
+	sumDelayPerStep := blockBytes / np.SumRate
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1 << 18)
+	rec := obs.NewRecorder(reg, tr)
+	var baseNs int64
+	totalSec := 0.0
+	for iter := 0; iter < iters; iter++ {
+		dur := eventsim.RingTraceDelays(p, workers, blockBytes, sumDelayPerStep, compute, delays, rec, iter, baseNs)
+		baseNs += int64(dur * 1e9)
+		totalSec += dur
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	meta := obs.TraceMeta{Version: 1, Node: -1, Source: "sim"}
+	if err := obs.WriteSpansJSONL(f, meta, tr.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("simtrace: %d workers x %d iters (%d B gradients) -> %s (%d spans, %.3fs simulated)\n",
+		workers, iters, bytes, out, len(tr.Snapshot()), totalSec)
+	fmt.Printf("  analyse: inctrace blame %s | inctrace calibrate -measured run.jsonl -sim %s\n", out, out)
+	return nil
+}
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
@@ -23,7 +107,21 @@ func main() {
 	full := flag.Bool("full", false, "full-scale training runs (slower, closer to the paper)")
 	seed := flag.Int64("seed", 42, "deterministic seed for all experiments")
 	selftest := flag.Bool("selftest", false, "run cross-component consistency checks and exit")
+	simtrace := flag.String("simtrace", "", "write a simulated ring-exchange span trace (JSONL) to this file and exit")
+	simWorkers := flag.Int("sim-workers", 4, "simtrace: ring size")
+	simIters := flag.Int("sim-iters", 10, "simtrace: iterations to simulate")
+	simBytes := flag.Int64("sim-bytes", 4<<20, "simtrace: gradient bytes per node per iteration")
+	simCompute := flag.Float64("sim-compute", 2e-3, "simtrace: per-node compute seconds per iteration")
+	simStraggle := flag.String("sim-straggle", "", "simtrace: extra compute per node, e.g. '2:5ms' or '1:2ms,3:1ms'")
 	flag.Parse()
+
+	if *simtrace != "" {
+		if err := runSimTrace(*simtrace, *simWorkers, *simIters, *simBytes, *simCompute, *simStraggle); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {

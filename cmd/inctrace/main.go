@@ -1,18 +1,25 @@
-// Command inctrace renders the observability artifacts a training run
-// produces: the per-node time breakdown (the shape of the paper's Fig. 13
-// and Fig. 14 communication/computation splits) and an ASCII step
-// timeline, from either a trace file written with `inctrain -trace-out`
-// or a live `inctrain -metrics-addr` endpoint.
+// Command inctrace renders and analyses the observability artifacts a
+// training run (or a simulator) produces, all in the shared span schema:
 //
-// Usage:
+//	inctrace trace.jsonl                      # per-node breakdown + timeline
+//	inctrace -addr 127.0.0.1:8080             # same, scraped from a live run
+//	inctrace breakdown [flags] traces...      # the explicit form of the above
+//	inctrace metrics -addr 127.0.0.1:8080     # metric snapshot with quantiles
+//	inctrace collect -out merged.jsonl A B C  # scrape live endpoints, clock
+//	                                          # handshake, merge one timeline
+//	inctrace merge -out merged.jsonl t0 t1 t2 # merge per-node trace files
+//	inctrace blame merged.jsonl               # critical-path attribution:
+//	                                          # gating node, blame matrix,
+//	                                          # straggler report
+//	inctrace calibrate -measured run.jsonl -sim sim.jsonl
+//	                                          # per-phase sim-vs-measured
+//	                                          # relative error table
 //
-//	inctrace trace.jsonl                     # render a saved trace
-//	inctrace -addr 127.0.0.1:8080            # scrape a live run
-//	inctrace -width 120 -no-timeline trace.jsonl
+// The bare-filename and -addr forms are the legacy interface and keep
+// working unchanged; everything else is a subcommand.
 package main
 
 import (
-	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -28,7 +35,7 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// fetch GETs path from the live endpoint with a short timeout.
+// fetch GETs path from a live endpoint with a short timeout.
 func fetch(addr, path string) ([]byte, error) {
 	c := &http.Client{Timeout: 10 * time.Second}
 	resp, err := c.Get("http://" + addr + path)
@@ -42,47 +49,90 @@ func fetch(addr, path string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-func main() {
-	addr := flag.String("addr", "", "scrape a live run's -metrics-addr endpoint instead of reading a trace file")
-	width := flag.Int("width", 100, "timeline width in character cells")
-	noTimeline := flag.Bool("no-timeline", false, "skip the ASCII step timeline")
-	noMetrics := flag.Bool("no-metrics", false, "skip the metrics snapshot (live mode only)")
-	flag.Parse()
+// gather merges any mix of trace files and (when addr is set) one live
+// endpoint into a single aligned timeline.
+func gather(addr string, files []string) (*obs.Merged, error) {
+	c := obs.NewCollector()
+	if addr != "" {
+		if err := c.AddEndpoint(addr); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range files {
+		if err := c.AddFile(f); err != nil {
+			return nil, err
+		}
+	}
+	return c.Merge()
+}
 
-	var spans []obs.Span
-	var err error
-	switch {
-	case *addr != "":
-		body, ferr := fetch(*addr, "/trace")
-		if ferr != nil {
-			fatal(ferr)
+// renderSources prints how each source was clock-aligned during a merge.
+func renderSources(m *obs.Merged) {
+	fmt.Printf("%-28s %6s %6s %14s %14s\n", "source", "node", "spans", "clock offset", "uncertainty")
+	for _, s := range m.Sources {
+		align := "meta epoch"
+		if s.OffsetNs != 0 || s.UncertaintyNs != 0 {
+			align = fmt.Sprintf("%+.3fms", float64(s.OffsetNs)/1e6)
+		} else if !s.Aligned {
+			align = "UNALIGNED"
 		}
-		spans, err = obs.ReadSpans(bytes.NewReader(body))
-	case flag.NArg() == 1:
-		f, ferr := os.Open(flag.Arg(0))
-		if ferr != nil {
-			fatal(ferr)
+		unc := "-"
+		if s.UncertaintyNs > 0 {
+			unc = fmt.Sprintf("±%.3fms", float64(s.UncertaintyNs)/1e6)
 		}
-		spans, err = obs.ReadSpans(f)
+		fmt.Printf("%-28s %6d %6d %14s %14s\n", s.Name, s.Node, s.Spans, align, unc)
+	}
+}
+
+func writeMerged(m *obs.Merged, out string) error {
+	if out == "" {
+		return nil
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := m.WriteJSONL(f); err != nil {
 		f.Close()
-	default:
-		fmt.Fprintln(os.Stderr, "usage: inctrace [flags] trace.jsonl | inctrace -addr host:port")
-		flag.PrintDefaults()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("merged: %d spans from %d sources -> %s\n", len(m.Spans), len(m.Sources), out)
+	return nil
+}
+
+// cmdBreakdown is the legacy default: per-node table + ASCII timeline
+// (+ metrics when scraping a live run).
+func cmdBreakdown(args []string) {
+	fs := flag.NewFlagSet("breakdown", flag.ExitOnError)
+	addr := fs.String("addr", "", "scrape a live run's -metrics-addr endpoint instead of reading a trace file")
+	width := fs.Int("width", 100, "timeline width in character cells")
+	noTimeline := fs.Bool("no-timeline", false, "skip the ASCII step timeline")
+	noMetrics := fs.Bool("no-metrics", false, "skip the metrics snapshot (live mode only)")
+	fs.Parse(args)
+
+	if *addr == "" && fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: inctrace [breakdown] [flags] trace.jsonl... | inctrace -addr host:port")
+		fmt.Fprintln(os.Stderr, "subcommands: breakdown, metrics, collect, merge, blame, calibrate")
+		fs.PrintDefaults()
 		os.Exit(2)
 	}
+	m, err := gather(*addr, fs.Args())
 	if err != nil {
 		fatal(err)
 	}
-	if len(spans) == 0 {
+	if len(m.Spans) == 0 {
 		fatal(fmt.Errorf("trace holds no spans (was the run started with -trace-out or -metrics-addr?)"))
 	}
 
-	bd := obs.Aggregate(spans)
-	fmt.Printf("per-node time breakdown (%d spans):\n\n", len(spans))
+	bd := obs.Aggregate(m.Spans)
+	fmt.Printf("per-node time breakdown (%d spans):\n\n", len(m.Spans))
 	bd.RenderTable(os.Stdout)
 	if !*noTimeline {
 		fmt.Println()
-		obs.RenderTimeline(os.Stdout, spans, *width)
+		obs.RenderTimeline(os.Stdout, m.Spans, *width)
 	}
 	if *addr != "" && !*noMetrics {
 		body, ferr := fetch(*addr, "/metrics")
@@ -97,4 +147,169 @@ func main() {
 		fmt.Println("metrics snapshot:")
 		obs.RenderMetrics(os.Stdout, snap)
 	}
+}
+
+// cmdMetrics renders a metric snapshot (live or saved) with the
+// histogram quantiles.
+func cmdMetrics(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	addr := fs.String("addr", "", "scrape this live endpoint's /metrics")
+	fs.Parse(args)
+
+	var body []byte
+	var err error
+	switch {
+	case *addr != "":
+		body, err = fetch(*addr, "/metrics")
+	case fs.NArg() == 1:
+		body, err = os.ReadFile(fs.Arg(0))
+	default:
+		fmt.Fprintln(os.Stderr, "usage: inctrace metrics (-addr host:port | metrics.json)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	snap, err := obs.ParseSnapshot(body)
+	if err != nil {
+		fatal(err)
+	}
+	obs.RenderMetrics(os.Stdout, snap)
+}
+
+// cmdCollect scrapes live endpoints (trace + metrics + clock handshake)
+// and merges them into one offset-corrected timeline.
+func cmdCollect(args []string) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	out := fs.String("out", "", "write the merged timeline as JSONL to this file")
+	probes := fs.Int("probes", 7, "clock-handshake probes per endpoint (min-RTT sample wins)")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: inctrace collect [-out merged.jsonl] host:port...")
+		os.Exit(2)
+	}
+	c := obs.NewCollector()
+	c.Probes = *probes
+	for _, addr := range fs.Args() {
+		if err := c.AddEndpoint(addr); err != nil {
+			fatal(err)
+		}
+	}
+	m, err := c.Merge()
+	if err != nil {
+		fatal(err)
+	}
+	renderSources(m)
+	if err := writeMerged(m, *out); err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Printf("merged: %d spans from %d sources (use -out to save)\n", len(m.Spans), len(m.Sources))
+	}
+}
+
+// cmdMerge merges per-node trace files (inctrain -trace-dir) into one
+// timeline, aligned on their meta epochs.
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "write the merged timeline as JSONL to this file")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: inctrace merge [-out merged.jsonl] trace_node0.jsonl...")
+		os.Exit(2)
+	}
+	m, err := gather("", fs.Args())
+	if err != nil {
+		fatal(err)
+	}
+	renderSources(m)
+	if err := writeMerged(m, *out); err != nil {
+		fatal(err)
+	}
+	if *out == "" {
+		fmt.Printf("merged: %d spans from %d sources (use -out to save)\n", len(m.Spans), len(m.Sources))
+	}
+}
+
+// cmdBlame runs the per-iteration critical-path attribution and prints
+// the gating summary, blame matrix, and straggler report.
+func cmdBlame(args []string) {
+	fs := flag.NewFlagSet("blame", flag.ExitOnError)
+	addr := fs.String("addr", "", "scrape a live endpoint instead of (or in addition to) trace files")
+	minGap := fs.Duration("min-gap", 100*time.Microsecond, "iterations with max-min recv wait under this are balanced, not attributed")
+	fs.Parse(args)
+	if *addr == "" && fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: inctrace blame [-min-gap 100us] (merged.jsonl... | -addr host:port)")
+		os.Exit(2)
+	}
+	m, err := gather(*addr, fs.Args())
+	if err != nil {
+		fatal(err)
+	}
+	if len(m.Spans) == 0 {
+		fatal(fmt.Errorf("no spans to attribute"))
+	}
+	r := obs.AttributeCriticalPath(m.Spans, *minGap)
+	r.RenderBlame(os.Stdout)
+	if node, share := r.Gating(); node >= 0 {
+		fmt.Printf("gating: node %d (%.0f%% of attributed iterations)\n", node, 100*share)
+	} else {
+		fmt.Println("gating: none")
+	}
+}
+
+// cmdCalibrate diffs a simulated trace against a measured one, phase by
+// phase.
+func cmdCalibrate(args []string) {
+	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
+	measured := fs.String("measured", "", "measured trace JSONL (from a real run)")
+	sim := fs.String("sim", "", "simulated trace JSONL (incbench -simtrace, or any RecordRaw producer)")
+	fs.Parse(args)
+	if *measured == "" || *sim == "" {
+		fmt.Fprintln(os.Stderr, "usage: inctrace calibrate -measured run.jsonl -sim sim.jsonl")
+		os.Exit(2)
+	}
+	read := func(path string) []obs.Span {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		spans, err := obs.ReadSpans(f)
+		if err != nil {
+			fatal(err)
+		}
+		return spans
+	}
+	c := obs.Calibrate(read(*measured), read(*sim))
+	fmt.Printf("calibration: %s (measured) vs %s (sim), per-phase mean seconds per node-iteration\n\n", *measured, *sim)
+	c.Render(os.Stdout)
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "breakdown":
+			cmdBreakdown(args[1:])
+			return
+		case "metrics":
+			cmdMetrics(args[1:])
+			return
+		case "collect":
+			cmdCollect(args[1:])
+			return
+		case "merge":
+			cmdMerge(args[1:])
+			return
+		case "blame":
+			cmdBlame(args[1:])
+			return
+		case "calibrate":
+			cmdCalibrate(args[1:])
+			return
+		}
+	}
+	// Legacy interface: `inctrace [flags] trace.jsonl` / `inctrace -addr ...`.
+	cmdBreakdown(args)
 }

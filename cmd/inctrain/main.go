@@ -10,14 +10,17 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"inceptionn/internal/data"
 	"inceptionn/internal/fault"
@@ -58,6 +61,35 @@ func parseCrashSpec(spec string) (map[int]uint64, error) {
 	return out, nil
 }
 
+// parseStragglerSpec parses -straggle: comma-separated node:duration
+// pairs, e.g. "2:5ms" or "0:1ms,3:10ms".
+func parseStragglerSpec(spec string) (map[int]time.Duration, error) {
+	out := make(map[int]time.Duration)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		node, dur, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("bad straggle spec %q (want node:duration)", part)
+		}
+		id, err := strconv.Atoi(node)
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("bad straggle spec node %q", node)
+		}
+		d, err := time.ParseDuration(dur)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("bad straggle spec duration %q", dur)
+		}
+		out[id] = d
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty straggle spec %q", spec)
+	}
+	return out, nil
+}
+
 func main() {
 	model := flag.String("model", "hdc-small", "trainable model: hdc, hdc-small, mini-alexnet, mini-vgg, mini-resnet")
 	workers := flag.Int("workers", 4, "number of worker nodes")
@@ -82,9 +114,12 @@ func main() {
 	samples := flag.Int("samples", 4000, "synthetic training samples")
 	evalEvery := flag.Int("eval", 50, "evaluate every N iterations")
 	chaosCrash := flag.String("chaos-crash", "", "chaos: crash nodes after N frame sends, e.g. \"2:65\" or \"1:40,3:200\" (requires -tcp or -elastic)")
-	metricsAddr := flag.String("metrics-addr", "", "serve live observability on this address (/metrics JSON, /trace JSONL, /debug/pprof), e.g. 127.0.0.1:8080")
+	metricsAddr := flag.String("metrics-addr", "", "serve live observability on this address (/metrics JSON or ?format=prom, /trace JSONL, /clock, /debug/pprof), e.g. 127.0.0.1:8080")
 	traceOut := flag.String("trace-out", "", "write the step trace as JSONL to this file when the run ends (inctrace reads it)")
+	traceDir := flag.String("trace-dir", "", "also split the trace into per-node JSONL files (trace_node<N>.jsonl) in this directory, for `inctrace merge`")
+	metricsOut := flag.String("metrics-out", "", "write the final /metrics JSON snapshot to this file when the run ends")
 	traceCap := flag.Int("trace-cap", 1<<16, "step tracer ring-buffer capacity (spans; oldest overwritten)")
+	straggle := flag.String("straggle", "", "inject per-iteration compute delay on nodes, e.g. \"2:5ms\" or \"0:1ms,3:10ms\" (validates `inctrace blame`)")
 	flag.Parse()
 
 	build, ok := models.Builders[*model]
@@ -127,14 +162,44 @@ func main() {
 		fmt.Fprintf(os.Stderr, "inctrain: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
+	// Observability: a registry + bounded tracer feed the live HTTP
+	// endpoint, the end-of-run trace/metrics files, and the NIC datapath
+	// counters. Created before the processor so the engines get the
+	// recorder. Leaving every obs flag unset keeps o.Obs nil and the hot
+	// paths free of even a clock read.
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsAddr != "" || *traceOut != "" || *traceDir != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(*traceCap)
+		reg.Func("fpcodec_values_compressed", func() float64 {
+			v, _ := fpcodec.StreamTotals()
+			return float64(v)
+		})
+		reg.Func("fpcodec_bits_emitted", func() float64 {
+			_, b := fpcodec.StreamTotals()
+			return float64(b)
+		})
+		o.Obs = obs.NewRecorder(reg, tracer)
+	}
+
 	if *compress {
 		b, err := fpcodec.NewBound(*bound)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "inctrain:", err)
 			os.Exit(2)
 		}
-		o.Processor = nic.Processor{Bound: b}
+		o.Processor = nic.Processor{Bound: b, Obs: o.Obs}
 		o.Compress = true
+	}
+	if *straggle != "" {
+		s, serr := parseStragglerSpec(*straggle)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "inctrain:", serr)
+			os.Exit(2)
+		}
+		o.Straggler = s
+		fmt.Printf("straggle: %v\n", s)
 	}
 
 	if *checkpointDir != "" {
@@ -172,51 +237,91 @@ func main() {
 			100**chaosDrop, 100**chaosCorrupt, *chaosCrash, *chaosSeed)
 	}
 
-	// Observability: a registry + bounded tracer feed both the live HTTP
-	// endpoint and the end-of-run trace file. Leaving every obs flag unset
-	// keeps o.Obs nil and the hot paths free of even a clock read.
-	var reg *obs.Registry
-	var tracer *obs.Tracer
-	if *metricsAddr != "" || *traceOut != "" {
-		reg = obs.NewRegistry()
-		tracer = obs.NewTracer(*traceCap)
-		reg.Func("fpcodec_values_compressed", func() float64 {
-			v, _ := fpcodec.StreamTotals()
-			return float64(v)
-		})
-		reg.Func("fpcodec_bits_emitted", func() float64 {
-			_, b := fpcodec.StreamTotals()
-			return float64(b)
-		})
-		o.Obs = obs.NewRecorder(reg, tracer)
-	}
 	if *metricsAddr != "" {
 		addr, serr := obs.Serve(*metricsAddr, reg, tracer)
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "inctrain:", serr)
 			os.Exit(2)
 		}
-		fmt.Printf("observability: http://%s/metrics (JSON), /trace (JSONL), /debug/pprof\n", addr)
+		fmt.Printf("observability: http://%s/metrics (JSON, ?format=prom), /trace (JSONL), /clock, /debug/pprof\n", addr)
 	}
 
-	// flushTrace persists the span ring buffer for inctrace; called on
-	// every exit path that has training work behind it.
-	flushTrace := func() {
-		if *traceOut == "" || tracer == nil {
-			return
-		}
-		f, ferr := os.Create(*traceOut)
-		if ferr == nil {
-			ferr = tracer.WriteJSONL(f)
-			if cerr := f.Close(); ferr == nil {
-				ferr = cerr
+	// flushObs persists the span ring buffer (whole-run file and/or
+	// per-node split) and the final metrics snapshot; called on every exit
+	// path that has training work behind it, including SIGINT.
+	flushObs := func() {
+		if tracer != nil && *traceOut != "" {
+			f, ferr := os.Create(*traceOut)
+			if ferr == nil {
+				ferr = tracer.WriteJSONL(f)
+				if cerr := f.Close(); ferr == nil {
+					ferr = cerr
+				}
+			}
+			if ferr != nil {
+				fmt.Fprintln(os.Stderr, "inctrain: trace:", ferr)
+			} else {
+				fmt.Printf("trace: %d spans retained -> %s (render with inctrace)\n", len(tracer.Snapshot()), *traceOut)
 			}
 		}
-		if ferr != nil {
-			fmt.Fprintln(os.Stderr, "inctrain: trace:", ferr)
-			return
+		if tracer != nil && *traceDir != "" {
+			if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "inctrain: trace-dir:", err)
+			} else {
+				nodes := make(map[int]bool)
+				for _, s := range tracer.Snapshot() {
+					nodes[s.Node] = true
+				}
+				written := 0
+				for node := range nodes {
+					path := filepath.Join(*traceDir, fmt.Sprintf("trace_node%d.jsonl", node))
+					f, ferr := os.Create(path)
+					if ferr == nil {
+						ferr = tracer.WriteNodeJSONL(f, node)
+						if cerr := f.Close(); ferr == nil {
+							ferr = cerr
+						}
+					}
+					if ferr != nil {
+						fmt.Fprintln(os.Stderr, "inctrain: trace-dir:", ferr)
+						continue
+					}
+					written++
+				}
+				fmt.Printf("trace: %d per-node files -> %s (merge with `inctrace merge %s/trace_node*.jsonl`)\n",
+					written, *traceDir, *traceDir)
+			}
 		}
-		fmt.Printf("trace: %d spans retained -> %s (render with inctrace)\n", len(tracer.Snapshot()), *traceOut)
+		if reg != nil && *metricsOut != "" {
+			data, jerr := json.MarshalIndent(reg.Snapshot(), "", "  ")
+			if jerr == nil {
+				jerr = os.WriteFile(*metricsOut, append(data, '\n'), 0o644)
+			}
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "inctrain: metrics:", jerr)
+			} else {
+				fmt.Printf("metrics: final snapshot -> %s\n", *metricsOut)
+			}
+		}
+	}
+
+	// Non-elastic runs have no graceful halt protocol, but a ^C must not
+	// lose the observability artifacts: flush what the tracer holds, then
+	// exit with the conventional 128+SIGINT status. (Elastic runs install
+	// their own two-stage handler below.)
+	if !*elastic {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			s, ok := <-sig
+			if !ok {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "inctrain: %v: flushing observability artifacts\n", s)
+			flushObs()
+			os.Exit(130)
+		}()
+		defer signal.Stop(sig)
 	}
 
 	transport := "in-process fabric"
@@ -269,7 +374,7 @@ func main() {
 			} else {
 				fmt.Fprintln(os.Stderr, "inctrain: interrupted (no -checkpoint-dir, progress discarded)")
 			}
-			flushTrace()
+			flushObs()
 			os.Exit(1)
 		}
 	} else {
@@ -277,7 +382,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "inctrain:", err)
-		flushTrace()
+		flushObs()
 		os.Exit(1)
 	}
 	for _, p := range res.Evals {
@@ -290,5 +395,5 @@ func main() {
 		fmt.Printf("timing: compute %.3fs, comm %.3fs, straggler wait %.3fs (summed across workers)\n",
 			res.ComputeSeconds, res.CommSeconds, res.StragglerWaitSeconds)
 	}
-	flushTrace()
+	flushObs()
 }

@@ -15,6 +15,8 @@ package eventsim
 import (
 	"fmt"
 	"math"
+
+	"inceptionn/internal/obs"
 )
 
 // Params describe the simulated cluster (compare netsim.Params; the
@@ -41,6 +43,7 @@ type flow struct {
 	active    bool
 	finished  bool
 	rate      float64
+	lastRate  float64 // previous allocation, for rate-change accounting
 }
 
 // Sim is one simulation instance.
@@ -48,6 +51,31 @@ type Sim struct {
 	p     Params
 	nodes int
 	flows []*flow
+
+	// Observability (optional): flows emit virtual-time send spans and
+	// event counters through rec, in the same schema as measured runs.
+	rec    *obs.Recorder
+	iter   int
+	baseNs int64 // trace-timeline shift applied to emitted spans
+}
+
+// SetObs attaches a recorder: every flow with payload emits a
+// virtual-time PhaseSend span (node = flow source, the given iter) via
+// RecordRaw, and the run counts flows, events, and max-min rate changes
+// as eventsim_* counters. A nil recorder keeps the simulator silent.
+func (s *Sim) SetObs(rec *obs.Recorder, iter int) {
+	s.rec = rec
+	s.iter = iter
+}
+
+// secNs converts simulator virtual seconds to span nanoseconds.
+func secNs(sec float64) int64 { return int64(sec * 1e9) }
+
+// Timing returns a flow's resolved activation and delivery times. Valid
+// after Run.
+func (s *Sim) Timing(id FlowID) (ready, done float64) {
+	f := s.flows[id]
+	return f.ready, f.done
 }
 
 // New returns a simulator over the given node count.
@@ -93,6 +121,11 @@ func (s *Sim) Run() []float64 {
 	resolved := make([]bool, len(s.flows)) // activation time known
 	started := make([]bool, len(s.flows))
 
+	flowsC := s.rec.Counter("eventsim_flows")
+	eventsC := s.rec.Counter("eventsim_events")
+	ratesC := s.rec.Counter("eventsim_rate_changes")
+	flowsC.Add(int64(len(s.flows)))
+
 	resolveReady := func() {
 		for i, f := range s.flows {
 			if resolved[i] {
@@ -133,7 +166,14 @@ func (s *Sim) Run() []float64 {
 			}
 		}
 
+		eventsC.Add(1)
 		s.allocateRates()
+		for _, f := range s.flows {
+			if f.active && f.rate != f.lastRate {
+				ratesC.Add(1)
+				f.lastRate = f.rate
+			}
+		}
 
 		// Next event: earliest pending activation or earliest completion.
 		next := math.Inf(1)
@@ -178,6 +218,11 @@ func (s *Sim) Run() []float64 {
 			allDone = false
 		}
 		out[i] = f.done
+		if f.bytes > 0 {
+			// Virtual-time send span: activation to transfer end (delivery
+			// minus the propagation leg), attributed to the source node.
+			s.rec.RecordRaw(f.src, s.iter, obs.PhaseSend, s.baseNs+secNs(f.ready), secNs(f.done-s.p.Latency-f.ready))
+		}
 	}
 	if !allDone {
 		panic("eventsim: deadlocked dependency graph")

@@ -1,0 +1,104 @@
+package eventsim
+
+import (
+	"inceptionn/internal/obs"
+)
+
+// RingTraceDelays runs the ring-exchange DAG of RingTimeDelays and emits
+// the full per-phase span schema a measured run produces — compute, send,
+// recv, reduce — on the simulator's virtual timeline (RecordRaw), so
+// `inctrace` can aggregate, blame, and calibrate simulated iterations
+// exactly like real ones.
+//
+// computeTime is each node's compute phase before its first send;
+// nodeDelay (optional, per node) adds straggler compute on top. Recv
+// spans follow the measured ring's convention — the wait between the end
+// of a node's own step send and the arrival of its inbound block — which
+// preserves the straggler inversion (minimum wait at the slow node) the
+// critical-path attribution keys on. baseNs shifts every emitted span on
+// the trace timeline, so consecutive iterations chain instead of
+// overlapping at virtual t=0. Returns the exchange finish time in
+// virtual seconds (relative to the iteration start, excluding baseNs).
+func RingTraceDelays(p Params, workers int, blockBytes, sumDelayPerStep, computeTime float64, nodeDelay []float64, rec *obs.Recorder, iter int, baseNs int64) float64 {
+	if workers < 2 {
+		return 0
+	}
+	s := New(p, workers)
+	s.SetObs(rec, iter)
+	s.baseNs = baseNs
+
+	compute := make([]float64, workers)
+	for node := 0; node < workers; node++ {
+		compute[node] = computeTime
+		if node < len(nodeDelay) {
+			compute[node] += nodeDelay[node]
+		}
+		rec.RecordRaw(node, iter, obs.PhaseCompute, baseNs, secNs(compute[node]))
+	}
+
+	steps := 2 * (workers - 1)
+	prev := make([]FlowID, workers)
+	for i := range prev {
+		prev[i] = -1
+	}
+	// sent[step][node] is the flow node forwards in that step.
+	sent := make([][]FlowID, steps)
+	for step := 0; step < steps; step++ {
+		sent[step] = make([]FlowID, workers)
+		cur := make([]FlowID, workers)
+		for node := 0; node < workers; node++ {
+			right := (node + 1) % workers
+			var deps []FlowID
+			delay := 0.0
+			if prev[node] >= 0 {
+				deps = append(deps, prev[node])
+				if step < workers-1 {
+					delay = sumDelayPerStep
+				}
+			} else {
+				delay = compute[node]
+			}
+			id := s.AddFlow(node, right, blockBytes, deps, delay)
+			sent[step][node] = id
+			cur[right] = id
+		}
+		prev = cur
+	}
+	times := s.Run()
+
+	// Reconstruct the recv and reduce phases from the resolved flow
+	// timings (send spans were emitted by the sim itself).
+	last := 0.0
+	inbound := make([]FlowID, workers) // node's inbound flow in the previous step
+	for i := range inbound {
+		inbound[i] = -1
+	}
+	for step := 0; step < steps; step++ {
+		for node := 0; node < workers; node++ {
+			right := (node + 1) % workers
+			fid := sent[step][node]
+			delivery := times[fid]
+			if delivery > last {
+				last = delivery
+			}
+			// Reduce: the summation the sender performed on its inbound
+			// block before forwarding it (reduce-scatter steps only).
+			if step >= 1 && step < workers-1 && sumDelayPerStep > 0 {
+				rec.RecordRaw(node, iter, obs.PhaseReduce, baseNs+secNs(times[inbound[node]]), secNs(sumDelayPerStep))
+			}
+			// Recv at the right neighbour: wait from the end of its own
+			// step send until this block arrives.
+			ownEnd := times[sent[step][right]] - p.Latency
+			wait := delivery - ownEnd
+			if wait < 0 {
+				wait = 0
+				ownEnd = delivery
+			}
+			rec.RecordRaw(right, iter, obs.PhaseRecv, baseNs+secNs(ownEnd), secNs(wait))
+		}
+		for node := 0; node < workers; node++ {
+			inbound[(node+1)%workers] = sent[step][node]
+		}
+	}
+	return last
+}

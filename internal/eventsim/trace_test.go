@@ -1,0 +1,50 @@
+package eventsim
+
+import (
+	"testing"
+
+	"inceptionn/internal/obs"
+)
+
+func TestRingTraceDelaysSchema(t *testing.T) {
+	p := Params{LineRate: 1.25e9, StreamCap: 0.45 * 1.25e9, Latency: 30e-6}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(4096)
+	rec := obs.NewRecorder(reg, tr)
+
+	const workers = 4
+	delays := []float64{0, 0, 5e-3, 0} // node 2 straggles 5ms per iteration
+	var baseNs int64
+	for iter := 0; iter < 5; iter++ {
+		total := RingTraceDelays(p, workers, 1e6, 1e-4, 2e-3, delays, rec, iter, baseNs)
+		if total <= 0 {
+			t.Fatalf("iter %d: non-positive exchange time %g", iter, total)
+		}
+		baseNs += int64(total * 1e9)
+	}
+
+	spans := tr.Snapshot()
+	var havePhase [obs.NumPhases]bool
+	for _, s := range spans {
+		havePhase[s.Phase] = true
+	}
+	for _, ph := range []obs.Phase{obs.PhaseCompute, obs.PhaseSend, obs.PhaseRecv, obs.PhaseReduce} {
+		if !havePhase[ph] {
+			t.Fatalf("sim trace missing %s spans", ph)
+		}
+	}
+
+	// The virtual-time trace must feed the same critical-path attribution
+	// as a measured one — and name the injected straggler.
+	r := obs.AttributeCriticalPath(spans, 0)
+	if node, share := r.Gating(); node != 2 || share < 0.9 {
+		t.Fatalf("sim blame: gating node %d share %.2f, want node 2 ≥0.90", node, share)
+	}
+
+	snap := reg.Snapshot()
+	for _, name := range []string{"eventsim_flows", "eventsim_events", "eventsim_rate_changes"} {
+		if v, ok := snap[name].(int64); !ok || v <= 0 {
+			t.Fatalf("%s = %v, want > 0", name, snap[name])
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package netsim
+
+import (
+	"inceptionn/internal/obs"
+)
+
+// Emit records the exchange as virtual-time spans in the shared obs
+// schema, one set per worker starting at startNs on the trace timeline:
+// the transfer leg as a send span, the summation as a reduce span, and
+// the propagation as a recv span (the time a node spends waiting on the
+// wire rather than pushing bytes). Returns the timeline position after
+// the exchange, so closed-form iterations chain: start of iteration k+1
+// = Emit(...) of iteration k. A nil recorder records nothing but still
+// advances the clock.
+func (e Exchange) Emit(rec *obs.Recorder, workers, iter int, startNs int64) int64 {
+	transfer := int64(e.Transfer * 1e9)
+	sum := int64(e.Sum * 1e9)
+	latency := int64(e.Latency * 1e9)
+	for node := 0; node < workers; node++ {
+		t := startNs
+		rec.RecordRaw(node, iter, obs.PhaseSend, t, transfer)
+		t += transfer
+		rec.RecordRaw(node, iter, obs.PhaseReduce, t, sum)
+		t += sum
+		rec.RecordRaw(node, iter, obs.PhaseRecv, t, latency)
+	}
+	rec.Counter("netsim_exchanges").Add(1)
+	return startNs + transfer + sum + latency
+}

@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"testing"
+
+	"inceptionn/internal/obs"
+)
+
+func TestExchangeEmitSchema(t *testing.T) {
+	p := Default10GbE()
+	n := int64(8 << 20)
+	ex := p.Ring(4, n, Plain(n/4))
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1024)
+	rec := obs.NewRecorder(reg, tr)
+
+	var startNs int64
+	for iter := 0; iter < 3; iter++ {
+		next := ex.Emit(rec, 4, iter, startNs)
+		if next <= startNs {
+			t.Fatalf("iter %d: timeline did not advance (%d -> %d)", iter, startNs, next)
+		}
+		startNs = next
+	}
+
+	spans := tr.Snapshot()
+	if want := 3 * 4 * 3; len(spans) != want { // iters x workers x phases
+		t.Fatalf("got %d spans, want %d", len(spans), want)
+	}
+	var havePhase [obs.NumPhases]bool
+	for _, s := range spans {
+		havePhase[s.Phase] = true
+		if s.Dur <= 0 {
+			t.Fatalf("span %+v has non-positive duration", s)
+		}
+	}
+	for _, ph := range []obs.Phase{obs.PhaseSend, obs.PhaseReduce, obs.PhaseRecv} {
+		if !havePhase[ph] {
+			t.Fatalf("missing %s span", ph)
+		}
+	}
+	if v, _ := reg.Snapshot()["netsim_exchanges"].(int64); v != 3 {
+		t.Fatalf("netsim_exchanges = %v, want 3", v)
+	}
+
+	// A nil recorder still advances the virtual clock identically.
+	if got := ex.Emit(nil, 4, 0, 0); got != int64(ex.Transfer*1e9)+int64(ex.Sum*1e9)+int64(ex.Latency*1e9) {
+		t.Fatalf("nil-recorder Emit returned %d", got)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"inceptionn/internal/bitio"
 	"inceptionn/internal/comm"
 	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/obs"
 )
 
 // Hardware constants from the paper's Sec. VI/VII.
@@ -43,6 +44,10 @@ const (
 // CompressionEngine is the burst-level compressor (paper Fig. 9).
 type CompressionEngine struct {
 	Bound fpcodec.Bound
+	// Obs, when set, accumulates the engine's burst/size counters
+	// (nic_compress_bursts, nic_compress_in_bytes, nic_compress_out_bits)
+	// — the same registry schema measured runs export.
+	Obs *obs.Recorder
 
 	// Alignment Unit state: pending output bits not yet a full burst.
 	acc *bitio.Writer
@@ -73,6 +78,11 @@ func (e *CompressionEngine) CompressPayload(payload []float32) (data []byte, bit
 		}
 		e.compressBurst(payload[off:hi])
 	}
+	if e.Obs != nil {
+		e.Obs.Counter("nic_compress_bursts").Add(CompressionCycles(len(payload)))
+		e.Obs.Counter("nic_compress_in_bytes").Add(4 * int64(len(payload)))
+		e.Obs.Counter("nic_compress_out_bits").Add(int64(e.acc.Len()))
+	}
 	return e.acc.Bytes(), e.acc.Len()
 }
 
@@ -86,6 +96,9 @@ func (e *CompressionEngine) compressBurst(lanes []float32) {
 // DecompressionEngine is the burst-level decompressor (paper Fig. 10).
 type DecompressionEngine struct {
 	Bound fpcodec.Bound
+	// Obs, when set, accumulates nic_decompress_cycles and
+	// nic_decompress_out_bytes.
+	Obs *obs.Recorder
 
 	cycles int64
 }
@@ -116,6 +129,10 @@ func (e *DecompressionEngine) DecompressPayload(data []byte, bits, count int) ([
 		e.cycles++
 	}
 	e.cycles++ // initial Burst Buffer fill
+	if e.Obs != nil {
+		e.Obs.Counter("nic_decompress_cycles").Add(int64((count+LanesPerBurst-1)/LanesPerBurst) + 1)
+		e.Obs.Counter("nic_decompress_out_bytes").Add(4 * int64(count))
+	}
 	return out, nil
 }
 
@@ -137,16 +154,24 @@ func EngineSeconds(cycles int64) float64 {
 // the engines, exactly as the ToS comparator in the paper routes packets.
 type Processor struct {
 	Bound fpcodec.Bound
+	// Obs, when set, is handed to the engines so every processed payload
+	// lands in the nic_* burst/size counters, plus the datapath totals
+	// nic_offload_payloads and nic_offload_bypass.
+	Obs *obs.Recorder
 }
 
 // Process implements comm.WireProcessor.
 func (p Processor) Process(payload []float32, tos uint8) ([]float32, int64) {
 	if tos != comm.ToSCompress {
+		p.Obs.Counter("nic_offload_bypass").Add(1)
 		return payload, 4 * int64(len(payload))
 	}
+	p.Obs.Counter("nic_offload_payloads").Add(1)
 	ce := NewCompressionEngine(p.Bound)
+	ce.Obs = p.Obs
 	data, bits := ce.CompressPayload(payload)
 	de := NewDecompressionEngine(p.Bound)
+	de.Obs = p.Obs
 	out, err := de.DecompressPayload(data, bits, len(payload))
 	if err != nil {
 		panic(fmt.Sprintf("nic: engine roundtrip failed: %v", err))

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Calibration is a per-phase comparison of two traces in the shared span
+// schema — one measured (a real run), one simulated (eventsim/netsim/nic
+// emitting virtual-time spans via RecordRaw). It answers the co-design
+// loop's question: where does the model diverge from the machine?
+
+// PhaseCal is the calibration result for one phase.
+type PhaseCal struct {
+	Phase Phase
+	// MeasuredMean / SimMean are mean seconds of this phase per
+	// node-iteration (span durations summed per {node, iter}, averaged
+	// over the cells where the phase appears).
+	MeasuredMean float64
+	SimMean      float64
+	// MeasuredCells / SimCells are how many {node, iter} cells carried
+	// the phase in each trace.
+	MeasuredCells int
+	SimCells      int
+	// RelErr is (sim − measured) / measured: positive when the simulator
+	// is pessimistic, NaN-free (0 when either side has no data).
+	RelErr float64
+}
+
+// Calibration is the full per-phase table.
+type Calibration struct {
+	Phases []PhaseCal // only phases present in at least one trace
+}
+
+func phaseMeans(spans []Span) (mean [NumPhases]float64, cells [NumPhases]int) {
+	idx := IndexSpans(spans)
+	var total [NumPhases]time.Duration
+	for k, d := range idx {
+		if k.Iter < 0 || k.Phase >= NumPhases {
+			continue
+		}
+		total[k.Phase] += d
+		cells[k.Phase]++
+	}
+	for p := range total {
+		if cells[p] > 0 {
+			mean[p] = total[p].Seconds() / float64(cells[p])
+		}
+	}
+	return mean, cells
+}
+
+// Calibrate diffs a simulated trace against a measured one, phase by
+// phase.
+func Calibrate(measured, sim []Span) *Calibration {
+	mMean, mCells := phaseMeans(measured)
+	sMean, sCells := phaseMeans(sim)
+	c := &Calibration{}
+	for p := Phase(0); p < NumPhases; p++ {
+		if mCells[p] == 0 && sCells[p] == 0 {
+			continue
+		}
+		pc := PhaseCal{
+			Phase:         p,
+			MeasuredMean:  mMean[p],
+			SimMean:       sMean[p],
+			MeasuredCells: mCells[p],
+			SimCells:      sCells[p],
+		}
+		if mMean[p] > 0 && sCells[p] > 0 {
+			pc.RelErr = (sMean[p] - mMean[p]) / mMean[p]
+		}
+		c.Phases = append(c.Phases, pc)
+	}
+	return c
+}
+
+// Render writes the per-phase relative-error table.
+func (c *Calibration) Render(w io.Writer) {
+	fmt.Fprintf(w, "%-12s %14s %14s %10s %8s %8s\n",
+		"phase", "measured/iter", "sim/iter", "rel err", "m cells", "s cells")
+	for _, pc := range c.Phases {
+		rel := "n/a"
+		if pc.MeasuredCells > 0 && pc.SimCells > 0 && pc.MeasuredMean > 0 {
+			rel = fmt.Sprintf("%+.1f%%", 100*pc.RelErr)
+		}
+		fmt.Fprintf(w, "%-12s %13.6fs %13.6fs %10s %8d %8d\n",
+			pc.Phase.String(), pc.MeasuredMean, pc.SimMean, rel, pc.MeasuredCells, pc.SimCells)
+	}
+}

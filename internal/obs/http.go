@@ -10,19 +10,26 @@ import (
 // NewHTTPHandler serves the observability surface:
 //
 //	/metrics        expvar-style JSON snapshot of the registry
-//	/trace          the retained span ring as JSONL
+//	/metrics?format=prom  the same snapshot in Prometheus text exposition
+//	/trace          the retained span ring as JSONL (meta line + spans)
+//	/clock          the clock document the Collector's offset handshake reads
 //	/debug/pprof/*  the standard Go profiler endpoints
 //
 // Either reg or tr may be nil; the corresponding endpoint then serves
 // an empty document.
 func NewHTTPHandler(reg *Registry, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		snap := reg.Snapshot()
 		if snap == nil {
 			snap = map[string]interface{}{}
 		}
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WriteProm(w, snap)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(snap)
@@ -32,6 +39,10 @@ func NewHTTPHandler(reg *Registry, tr *Tracer) http.Handler {
 		if tr != nil {
 			tr.WriteJSONL(w)
 		}
+	})
+	mux.HandleFunc("/clock", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(clockDocNow(tr))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

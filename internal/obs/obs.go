@@ -202,3 +202,14 @@ func (r *Recorder) RecordSpan(node, iter int, phase Phase, start time.Time, d ti
 	}
 	r.tr.record(node, iter, phase, start, d)
 }
+
+// RecordRaw records a span with explicit timeline offsets, bypassing the
+// tracer's wall-clock epoch. The simulators (eventsim, netsim) use it to
+// emit virtual-time spans in the identical schema as measured runs, so
+// inctrace can aggregate, blame, and calibrate both the same way.
+func (r *Recorder) RecordRaw(node, iter int, phase Phase, startNs, durNs int64) {
+	if r == nil || r.tr == nil || durNs < 0 {
+		return
+	}
+	r.tr.RecordRaw(node, iter, phase, startNs, durNs)
+}

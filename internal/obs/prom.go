@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName sanitizes a registry metric name into the Prometheus metric
+// name charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WriteProm renders a Registry.Snapshot in the Prometheus text exposition
+// format (version 0.0.4), so any standard scraper pointed at
+// `-metrics-addr` with `/metrics?format=prom` works out of the box.
+// Counters expose as counters, gauges and func metrics as gauges, and
+// latency histograms as native Prometheus histograms (cumulative `le`
+// buckets in seconds, plus _sum and _count).
+func WriteProm(w io.Writer, snap map[string]interface{}) {
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := promName(k)
+		switch v := snap[k].(type) {
+		case int64:
+			fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+		case float64:
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, v)
+		case HistSnapshot:
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			var cum int64
+			for _, b := range v.Buckets {
+				cum += b.N
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b.LESeconds), cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, v.Count)
+			fmt.Fprintf(w, "%s_sum %g\n", name, v.SumSeconds)
+			fmt.Fprintf(w, "%s_count %d\n", name, v.Count)
+		default:
+			fmt.Fprintf(w, "# TYPE %s untyped\n%s %v\n", name, name, v)
+		}
+	}
+}

@@ -128,13 +128,51 @@ type HistBucket struct {
 	N         int64   `json:"n"`
 }
 
-// HistSnapshot is the JSON-friendly view of a histogram.
+// HistSnapshot is the JSON-friendly view of a histogram. P50/P90/P99 are
+// quantile estimates interpolated from the 1-2-5 buckets: exact to within
+// one bucket's width (≤2.5× at the 1-2-5 spacing), which is plenty for the
+// tail-latency questions the breakdown answers.
 type HistSnapshot struct {
 	Count      int64        `json:"count"`
 	SumSeconds float64      `json:"sum_s"`
 	MaxSeconds float64      `json:"max_s"`
+	P50Seconds float64      `json:"p50_s,omitempty"`
+	P90Seconds float64      `json:"p90_s,omitempty"`
+	P99Seconds float64      `json:"p99_s,omitempty"`
 	Buckets    []HistBucket `json:"buckets,omitempty"`
 	Overflow   int64        `json:"overflow,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts by
+// linear interpolation inside the containing bucket. Observations in the
+// overflow bucket interpolate between the last bound and the observed max.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 || q >= 1 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	lo := 0.0
+	for _, b := range s.Buckets {
+		next := cum + float64(b.N)
+		if rank <= next {
+			frac := (rank - cum) / float64(b.N)
+			return lo + frac*(b.LESeconds-lo)
+		}
+		cum = next
+		lo = b.LESeconds
+	}
+	// Overflow bucket: bounded above by the observed max.
+	if s.Overflow > 0 && s.MaxSeconds > lo {
+		frac := (rank - cum) / float64(s.Overflow)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + frac*(s.MaxSeconds-lo)
+	}
+	return s.MaxSeconds
 }
 
 func (h *Histogram) snapshot() HistSnapshot {
@@ -149,6 +187,9 @@ func (h *Histogram) snapshot() HistSnapshot {
 		}
 	}
 	s.Overflow = h.buckets[len(h.bounds)].Load()
+	s.P50Seconds = s.Quantile(0.50)
+	s.P90Seconds = s.Quantile(0.90)
+	s.P99Seconds = s.Quantile(0.99)
 	return s
 }
 

@@ -187,6 +187,19 @@ func RenderTimeline(w io.Writer, spans []Span, width int) {
 	}
 }
 
+// jnum renders an optional JSON number ("-" when absent — omitempty drops
+// zero quantiles from empty histograms).
+func jnum(v interface{}) string {
+	switch n := v.(type) {
+	case nil:
+		return "-"
+	case float64:
+		return fmt.Sprintf("%.6f", n)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
 func math_min(a, b float64) float64 {
 	if a < b {
 		return a
@@ -212,10 +225,12 @@ func RenderMetrics(w io.Writer, snap map[string]interface{}) {
 	for _, k := range names {
 		switch v := snap[k].(type) {
 		case HistSnapshot:
-			fmt.Fprintf(w, "%-40s count=%d sum=%.3fs max=%.3fs\n", k, v.Count, v.SumSeconds, v.MaxSeconds)
+			fmt.Fprintf(w, "%-40s count=%d sum=%.3fs p50=%.6fs p90=%.6fs p99=%.6fs max=%.3fs\n",
+				k, v.Count, v.SumSeconds, v.P50Seconds, v.P90Seconds, v.P99Seconds, v.MaxSeconds)
 		case map[string]interface{}:
 			// A histogram that went through a JSON round trip.
-			fmt.Fprintf(w, "%-40s count=%v sum=%vs max=%vs\n", k, v["count"], v["sum_s"], v["max_s"])
+			fmt.Fprintf(w, "%-40s count=%v sum=%vs p50=%vs p90=%vs p99=%vs max=%vs\n",
+				k, v["count"], v["sum_s"], jnum(v["p50_s"]), jnum(v["p90_s"]), jnum(v["p99_s"]), v["max_s"])
 		case float64:
 			if v == float64(int64(v)) && !strings.Contains(k, "ratio") {
 				fmt.Fprintf(w, "%-40s %d\n", k, int64(v))

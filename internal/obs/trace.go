@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,13 +10,36 @@ import (
 	"time"
 )
 
+// TraceMeta is the optional header line of a JSONL trace: it names the
+// trace's node scope and anchors the span timebase (nanoseconds since the
+// tracer's construction) to the writer's wall clock, which is what lets
+// the Collector merge traces from processes with different epochs.
+type TraceMeta struct {
+	// Version is the schema version (currently 1). Its JSON key doubles
+	// as the marker that distinguishes a meta line from a span line.
+	Version int `json:"trace_meta"`
+	// Node scopes the file to one node id, or -1 when the spans carry
+	// their own node ids (a whole-process trace).
+	Node int `json:"node"`
+	// EpochUnixNs is the span timebase origin in the writer's wall clock
+	// (UnixNano at tracer construction); 0 when unknown.
+	EpochUnixNs int64 `json:"epoch_unix_ns"`
+	// Source labels the producer: "run" for measured traces, "sim" for
+	// simulator-generated ones, or free-form.
+	Source string `json:"source,omitempty"`
+}
+
+// metaMarker identifies a meta line without a full JSON parse.
+var metaMarker = []byte(`"trace_meta"`)
+
 // Tracer records phase spans into a bounded ring buffer: once capacity
 // is reached the oldest spans are overwritten, so a tracer's memory is
 // fixed no matter how long the run. Span timestamps are nanoseconds
 // since the tracer's construction (one shared epoch per process, so
 // spans from different nodes align on one timeline).
 type Tracer struct {
-	epoch time.Time
+	epoch     time.Time
+	epochUnix int64 // epoch as wall-clock UnixNano (for TraceMeta)
 
 	mu    sync.Mutex
 	buf   []Span
@@ -29,18 +53,47 @@ func NewTracer(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{epoch: time.Now(), buf: make([]Span, 0, capacity)}
+	now := time.Now()
+	return &Tracer{epoch: now, epochUnix: now.UnixNano(), buf: make([]Span, 0, capacity)}
+}
+
+// EpochUnixNs returns the tracer's epoch — the zero point of every span's
+// Start — as wall-clock UnixNano (0 for the nil tracer).
+func (t *Tracer) EpochUnixNs() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epochUnix
+}
+
+// SinceEpochNs returns the current offset on the tracer's span timeline
+// (what a span started right now would carry as Start).
+func (t *Tracer) SinceEpochNs() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Nanoseconds()
+}
+
+// Meta returns the trace header for this tracer scoped to node (-1 for a
+// whole-process trace).
+func (t *Tracer) Meta(node int) TraceMeta {
+	return TraceMeta{Version: 1, Node: node, EpochUnixNs: t.EpochUnixNs(), Source: "run"}
 }
 
 // record appends one span, overwriting the oldest once full.
 func (t *Tracer) record(node, iter int, phase Phase, start time.Time, d time.Duration) {
-	s := Span{
-		Node:  node,
-		Iter:  iter,
-		Phase: phase,
-		Start: start.Sub(t.epoch).Nanoseconds(),
-		Dur:   d.Nanoseconds(),
+	t.RecordRaw(node, iter, phase, start.Sub(t.epoch).Nanoseconds(), d.Nanoseconds())
+}
+
+// RecordRaw appends a span with explicit timeline offsets (the simulator
+// path; measured spans go through record, which derives the offset from
+// the tracer's epoch).
+func (t *Tracer) RecordRaw(node, iter int, phase Phase, startNs, durNs int64) {
+	if t == nil {
+		return
 	}
+	s := Span{Node: node, Iter: iter, Phase: phase, Start: startNs, Dur: durNs}
 	t.mu.Lock()
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, s)
@@ -78,12 +131,39 @@ func (t *Tracer) Snapshot() []Span {
 	return out
 }
 
-// WriteJSONL streams the retained spans to w, one JSON object per line
-// — the trace format cmd/inctrace consumes.
+// WriteJSONL streams the trace to w — a leading TraceMeta line anchoring
+// the timebase, then the retained spans one JSON object per line. This is
+// the trace format cmd/inctrace consumes; ReadSpans skips the meta line,
+// so pre-meta consumers keep working.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteSpansJSONL(w, t.Meta(-1), t.Snapshot())
+}
+
+// WriteNodeJSONL streams only the given node's spans, with a meta line
+// scoped to that node — the per-node trace files a multi-node collector
+// merges (inctrain -trace-dir).
+func (t *Tracer) WriteNodeJSONL(w io.Writer, node int) error {
+	all := t.Snapshot()
+	spans := make([]Span, 0, len(all))
+	for _, s := range all {
+		if s.Node == node {
+			spans = append(spans, s)
+		}
+	}
+	return WriteSpansJSONL(w, t.Meta(node), spans)
+}
+
+// WriteSpansJSONL writes an explicit meta header and span list in the
+// trace JSONL format. A zero-Version meta suppresses the header line.
+func WriteSpansJSONL(w io.Writer, meta TraceMeta, spans []Span) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw) // Encode appends the newline
-	for _, s := range t.Snapshot() {
+	if meta.Version != 0 {
+		if err := enc.Encode(meta); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
 		if err := enc.Encode(s); err != nil {
 			return err
 		}
@@ -91,9 +171,19 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 	return bw.Flush()
 }
 
-// ReadSpans parses a JSONL trace stream (blank lines ignored).
+// ReadSpans parses a JSONL trace stream (blank lines and TraceMeta
+// header lines ignored).
 func ReadSpans(r io.Reader) ([]Span, error) {
+	spans, _, err := ReadTrace(r)
+	return spans, err
+}
+
+// ReadTrace parses a JSONL trace stream, returning the spans and any
+// TraceMeta header lines encountered (concatenated per-node files carry
+// several).
+func ReadTrace(r io.Reader) ([]Span, []TraceMeta, error) {
 	var out []Span
+	var metas []TraceMeta
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	line := 0
@@ -103,14 +193,21 @@ func ReadSpans(r io.Reader) ([]Span, error) {
 		if len(b) == 0 {
 			continue
 		}
+		if bytes.Contains(b, metaMarker) {
+			var m TraceMeta
+			if err := json.Unmarshal(b, &m); err == nil && m.Version != 0 {
+				metas = append(metas, m)
+				continue
+			}
+		}
 		var s Span
 		if err := json.Unmarshal(b, &s); err != nil {
-			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+			return nil, nil, fmt.Errorf("obs: trace line %d: %w", line, err)
 		}
 		out = append(out, s)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	return out, metas, nil
 }

@@ -431,6 +431,7 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			t0 := time.Now()
 			csp := o.Obs.Span(id, iter, obs.PhaseCompute)
 			lastLoss = w.localGradient()
+			o.straggle(id)
 			if o.LocalGradTransform != nil {
 				o.LocalGradTransform(w.grad)
 			}

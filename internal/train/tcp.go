@@ -98,6 +98,7 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 				t0 := time.Now()
 				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
 				loss := w.localGradient()
+				o.straggle(id)
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}

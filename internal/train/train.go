@@ -139,6 +139,13 @@ type Options struct {
 	// them. Nil (the zero value) disables all of it.
 	Obs *obs.Recorder
 
+	// Straggler artificially slows the listed workers by the given extra
+	// compute time per iteration (inside their compute span, so traces
+	// attribute it correctly). It exists to validate the critical-path
+	// attribution: `inctrace blame` on a run with one straggling node must
+	// point at it. Nil/empty = no injected stragglers.
+	Straggler map[int]time.Duration
+
 	// ErrorFeedback enables residual error feedback on the lossy codec
 	// (Seide et al.'s 1-bit SGD technique, cited by the paper as [25]):
 	// each worker adds the previous iteration's compression error to its
@@ -206,6 +213,15 @@ func Run(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Res
 		return runHierarchical(build, trainDS, testDS, iters, o)
 	default:
 		return Result{}, fmt.Errorf("train: unknown algorithm %d", o.Algo)
+	}
+}
+
+// straggle injects the configured per-iteration compute delay for worker
+// id. Callers invoke it inside the worker's compute span so the stall is
+// attributed to the compute phase, exactly like genuinely slow hardware.
+func (o Options) straggle(id int) {
+	if d := o.Straggler[id]; d > 0 {
+		time.Sleep(d)
 	}
 }
 
@@ -421,6 +437,7 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 				t0 := time.Now()
 				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
 				loss := w.localGradient()
+				o.straggle(id)
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
@@ -535,6 +552,7 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 				t0 := time.Now()
 				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
 				loss := w.localGradient()
+				o.straggle(id)
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
@@ -627,6 +645,7 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 				t0 := time.Now()
 				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
 				loss := w.localGradient()
+				o.straggle(id)
 				if o.LocalGradTransform != nil {
 					o.LocalGradTransform(w.grad)
 				}
