@@ -2,7 +2,7 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench3 bench4 bench5 benchsmoke chaostest ckptsmoke obssmoke ci
+.PHONY: build test vet race fuzz bench bench3 bench4 bench5 benchsmoke chaostest ckptsmoke obssmoke elastictest ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
@@ -106,4 +106,13 @@ obssmoke:
 	$(GO) run ./cmd/inctrace blame -min-gap 2ms bench/obssmoke_merged.jsonl | grep -q 'gating: node 1'
 	$(GO) test ./internal/obs -run 'TestCollectorLiveEndpoints' -count=1
 
-ci: vet chaostest ckptsmoke obssmoke race benchsmoke
+# Elastic scale-out acceptance gate, under the race detector: a 4-node
+# TCP ring loses a worker to a chaos crash, the replacement rejoins from
+# the newest checkpoint and the post-join trail resumes bit-identically;
+# and a control-link partition must evict, fail the minority closed, and
+# heal back to full membership. Several minutes under -race, hence the
+# headroom on the timeout.
+elastictest:
+	$(GO) test ./internal/train -run 'TestElasticTCPJoin|TestElasticTCPPartitionHeal|TestGCCheckpointsKeepsNewestValid' -count=1 -race -timeout 20m
+
+ci: vet chaostest ckptsmoke obssmoke elastictest race benchsmoke

@@ -7,6 +7,8 @@
 //	inctrain -model hdc-small -workers 4 -algo ring -iters 300 -compress -bound 10
 //	inctrain -algo ring2 -workers 8 -group 4         # Fig. 1c hierarchy
 //	inctrain -tcp -compress                          # real loopback TCP sockets
+//	inctrain -elastic -tcp -join -checkpoint-dir ck -suspect-after 2s
+//	                                                 # elastic ring over TCP with auto-rejoin
 package main
 
 import (
@@ -110,6 +112,9 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 0, "elastic: also checkpoint every N iterations (requires -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "elastic: resume from the newest valid checkpoint in -checkpoint-dir")
 	suspectAfter := flag.Duration("suspect-after", 0, "elastic: declare a worker dead after this much heartbeat silence (0 = crash self-reports only)")
+	join := flag.Bool("join", false, "elastic over TCP: revive evicted workers — reload the newest checkpoint, rejoin through the coordinator, splice back into the ring (requires -elastic -tcp)")
+	coordAddr := flag.String("coord-addr", "", "elastic over TCP: control-channel listen address, host:port (empty = ephemeral localhost port)")
+	checkpointKeep := flag.Int("checkpoint-keep", 3, "elastic: prune -checkpoint-dir to the newest N valid checkpoints after each write (0 = default 3, negative = keep all)")
 	seed := flag.Int64("seed", 42, "seed for model init and data")
 	samples := flag.Int("samples", 4000, "synthetic training samples")
 	evalEvery := flag.Int("eval", 50, "evaluate every N iterations")
@@ -213,8 +218,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "inctrain: -checkpoint-every and -resume require -checkpoint-dir")
 		os.Exit(2)
 	}
-	if *elastic && (*tcp || *algo != "ring") {
-		fmt.Fprintln(os.Stderr, "inctrain: -elastic requires -algo ring on the in-process fabric")
+	if *elastic && *algo != "ring" {
+		fmt.Fprintln(os.Stderr, "inctrain: -elastic requires -algo ring")
+		os.Exit(2)
+	}
+	if (*join || *coordAddr != "") && !(*elastic && *tcp) {
+		fmt.Fprintln(os.Stderr, "inctrain: -join and -coord-addr require -elastic -tcp")
 		os.Exit(2)
 	}
 	// Shared chaos config: the TCP fabric and the elastic runner both
@@ -332,24 +341,15 @@ func main() {
 		*model, *workers, *algo, transport, *iters, *batch, *compress)
 	var res train.Result
 	var err error
-	if *tcp {
-		if *algo != "ring" {
-			fmt.Fprintln(os.Stderr, "inctrain: -tcp supports only -algo ring")
-			os.Exit(2)
-		}
-		b, berr := fpcodec.NewBound(*bound)
-		if berr != nil {
-			fmt.Fprintln(os.Stderr, "inctrain:", berr)
-			os.Exit(2)
-		}
-		o.StepTimeout = *stepTimeout
-		res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
-	} else if *elastic {
+	if *elastic {
 		o.CheckpointDir = *checkpointDir
 		o.CheckpointEvery = *checkpointEvery
+		o.CheckpointKeep = *checkpointKeep
 		o.Resume = *resume
 		o.SuspectAfter = *suspectAfter
 		o.StepTimeout = *stepTimeout
+		o.Join = *join
+		o.CoordAddr = *coordAddr
 		// A first SIGINT/SIGTERM drains the run gracefully: the workers
 		// agree on a halt iteration and write a final checkpoint before the
 		// process exits nonzero. A second signal kills it the default way.
@@ -366,7 +366,16 @@ func main() {
 			signal.Stop(sig)
 		}()
 		o.Stop = stop
-		res, err = train.RunElastic(build, trainDS, testDS, *iters, o)
+		if *tcp {
+			b, berr := fpcodec.NewBound(*bound)
+			if berr != nil {
+				fmt.Fprintln(os.Stderr, "inctrain:", berr)
+				os.Exit(2)
+			}
+			res, err = train.RunElasticTCP(build, trainDS, testDS, *iters, o, b)
+		} else {
+			res, err = train.RunElastic(build, trainDS, testDS, *iters, o)
+		}
 		signal.Stop(sig)
 		if errors.Is(err, train.ErrInterrupted) {
 			if *checkpointDir != "" {
@@ -377,6 +386,18 @@ func main() {
 			flushObs()
 			os.Exit(1)
 		}
+	} else if *tcp {
+		if *algo != "ring" {
+			fmt.Fprintln(os.Stderr, "inctrain: -tcp supports only -algo ring")
+			os.Exit(2)
+		}
+		b, berr := fpcodec.NewBound(*bound)
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "inctrain:", berr)
+			os.Exit(2)
+		}
+		o.StepTimeout = *stepTimeout
+		res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
 	} else {
 		res, err = train.Run(build, trainDS, testDS, *iters, o)
 	}
@@ -389,8 +410,14 @@ func main() {
 		fmt.Printf("  iter %5d  accuracy %5.1f%%  loss %.4f\n", p.Iter, 100*p.Accuracy, p.Loss)
 	}
 	fmt.Printf("final: accuracy %.1f%%  loss %.4f\n", 100*res.FinalAcc, res.FinalLoss)
-	fmt.Printf("traffic: %d raw bytes, %d wire bytes (%.2fx reduction)\n",
-		res.RawBytes, res.WireBytes, float64(res.RawBytes)/float64(res.WireBytes))
+	if res.RawBytes > 0 && res.WireBytes > 0 {
+		fmt.Printf("traffic: %d raw bytes, %d wire bytes (%.2fx reduction)\n",
+			res.RawBytes, res.WireBytes, float64(res.RawBytes)/float64(res.WireBytes))
+	} else if res.WireBytes > 0 {
+		// Transports without per-link raw-byte accounting (compressed
+		// elastic TCP) report only what actually crossed the wire.
+		fmt.Printf("traffic: %d wire bytes\n", res.WireBytes)
+	}
 	if res.ComputeSeconds > 0 || res.CommSeconds > 0 {
 		fmt.Printf("timing: compute %.3fs, comm %.3fs, straggler wait %.3fs (summed across workers)\n",
 			res.ComputeSeconds, res.CommSeconds, res.StragglerWaitSeconds)

@@ -52,6 +52,17 @@ type LinkFaults struct {
 	// (Until == 0 means no upper bound).
 	From, Until uint64
 
+	// FromElapsed and UntilElapsed additionally bound the window by wall
+	// time since the injector's creation: faults fire only while
+	// FromElapsed <= elapsed < UntilElapsed (zero UntilElapsed means no
+	// upper bound; both zero disables the time gate). Unlike the sequence
+	// window this trades bit-reproducibility for duration-faithful
+	// scenarios — an outage that must outlast a failure detector's
+	// staleness limit and then heal is a property of wall time, not of how
+	// many frames the victim happened to attempt. Use it for partition /
+	// heal schedules; keep bitwise-replay schedules on From/Until.
+	FromElapsed, UntilElapsed time.Duration
+
 	// PartitionFrom blackholes the link permanently from the given frame
 	// sequence number onward (every later transmission is dropped and no
 	// retransmission can succeed). nil means never.
@@ -100,20 +111,21 @@ type Verdict struct {
 // except the per-node crash counters, which are atomic.
 type Injector struct {
 	cfg     Config
+	start   time.Time // epoch for FromElapsed/UntilElapsed windows
 	crashed []crashCounter
 }
 
 type crashCounter struct {
-	limit uint64 // 0 = never crashes
+	limit atomic.Uint64 // 0 = never crashes
 	sent  atomic.Uint64
 }
 
 // NewInjector compiles a Config for a cluster of n nodes.
 func NewInjector(n int, cfg Config) *Injector {
-	inj := &Injector{cfg: cfg, crashed: make([]crashCounter, n)}
+	inj := &Injector{cfg: cfg, start: time.Now(), crashed: make([]crashCounter, n)}
 	for id, after := range cfg.CrashAfter {
 		if id >= 0 && id < n {
-			inj.crashed[id].limit = after + 1 // 0 sends allowed means limit 1
+			inj.crashed[id].limit.Store(after + 1) // 0 sends allowed means limit 1
 		}
 	}
 	return inj
@@ -163,6 +175,12 @@ func (inj *Injector) Decide(src, dst int, seq uint64, attempt int) Verdict {
 	if seq < lf.From || (lf.Until > 0 && seq >= lf.Until) {
 		return v
 	}
+	if lf.FromElapsed > 0 || lf.UntilElapsed > 0 {
+		elapsed := time.Since(inj.start)
+		if elapsed < lf.FromElapsed || (lf.UntilElapsed > 0 && elapsed >= lf.UntilElapsed) {
+			return v
+		}
+	}
 	if lf.DelayRate > 0 && inj.draw(src, dst, seq, attempt, 1) < lf.DelayRate {
 		v.Delay = lf.Delay
 	}
@@ -190,10 +208,11 @@ func (inj *Injector) RecordSend(id int) bool {
 		return false
 	}
 	c := &inj.crashed[id]
-	if c.limit == 0 {
+	limit := c.limit.Load()
+	if limit == 0 {
 		return false
 	}
-	return c.sent.Add(1) >= c.limit
+	return c.sent.Add(1) >= limit
 }
 
 // Crashed reports whether node id has crashed (without advancing the
@@ -203,5 +222,19 @@ func (inj *Injector) Crashed(id int) bool {
 		return false
 	}
 	c := &inj.crashed[id]
-	return c.limit != 0 && c.sent.Load() >= c.limit
+	limit := c.limit.Load()
+	return limit != 0 && c.sent.Load() >= limit
+}
+
+// Revive clears node id's crash schedule, modelling the failed process
+// being restarted on the same host: the replacement never re-crashes, and
+// its transport serves sends and receives again. It is the join-path dual
+// of CrashAfter and is deterministic as long as the caller revives at a
+// deterministic point in the run (e.g. right before re-admitting the node
+// to the membership).
+func (inj *Injector) Revive(id int) {
+	if id < 0 || id >= len(inj.crashed) {
+		return
+	}
+	inj.crashed[id].limit.Store(0)
 }

@@ -67,6 +67,14 @@ type RetryPolicy struct {
 	MaxAttempts int
 	// Window caps unacknowledged frames per link. Default 4096.
 	Window int
+	// Jitter spreads each probe interval uniformly over
+	// [interval*(1-Jitter), interval]: after a partition heals, every
+	// stalled receiver in the cluster is backing off on the same schedule,
+	// and without jitter their NACK probes re-synchronize into periodic
+	// retry storms that keep colliding on the recovering links. Fraction
+	// in [0,1); default 0.25. Negative disables jitter entirely (useful
+	// for tests that assert exact probe timing).
+	Jitter float64
 }
 
 func (r RetryPolicy) withDefaults() RetryPolicy {
@@ -82,7 +90,34 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	if r.Window <= 0 {
 		r.Window = 4096
 	}
+	if r.Jitter == 0 {
+		r.Jitter = 0.25
+	}
+	if r.Jitter < 0 {
+		r.Jitter = 0
+	}
+	if r.Jitter >= 1 {
+		r.Jitter = 0.99
+	}
 	return r
+}
+
+// jitterRTO draws the actual wait for one probe interval: uniform over
+// [rto*(1-jitter), rto], keyed deterministically on (node, peer, probe
+// count) so a run's probe schedule is reproducible while distinct links
+// still desynchronize. The backoff itself stays bounded by MaxRTO — the
+// jitter only ever shortens an interval, never extends it.
+func jitterRTO(rto time.Duration, jitter float64, id, src int, probe uint64) time.Duration {
+	if jitter <= 0 {
+		return rto
+	}
+	h := uint64(id)<<40 ^ uint64(src)<<20 ^ probe
+	h += 0x9E3779B97F4A7C15
+	h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+	h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+	h ^= h >> 31
+	u := float64(h>>11) / float64(1<<53)
+	return time.Duration(float64(rto) * (1 - jitter*u))
 }
 
 // ClusterOptions configures NewClusterWithOptions.
@@ -599,23 +634,40 @@ func (nd *Node) sendCtl(dst int, kind uint8, seq uint32, wantRaw bool) {
 
 // RecvCtx returns the next in-order verified payload from src. While
 // stalled it probes the sender with NACKs for the expected frame (with
-// exponential backoff) so a dropped frame or lost NACK is recovered; the
-// context deadline bounds the total wait, turning a permanent partition
-// into an error instead of a hang.
+// bounded, jittered exponential backoff) so a dropped frame or lost NACK
+// is recovered; the context deadline bounds the total wait, turning a
+// permanent partition into an error instead of a hang.
 func (nd *Node) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error) {
+	payload, got, err := nd.RecvMessageCtx(ctx, src)
+	if err != nil {
+		return nil, err
+	}
+	if got != tag {
+		return nil, fmt.Errorf("tcpfabric: node %d expected tag %d from %d, got %d",
+			nd.id, tag, src, got)
+	}
+	return payload, nil
+}
+
+// RecvMessageCtx returns the next in-order verified payload from src along
+// with its tag, leaving tag interpretation to the caller. It is the
+// demultiplexing receive the elastic layer's epoch-filtering peer needs
+// (elastic.Transport): a reconfigured ring inspects each frame's tag band
+// and discards residue of aborted exchanges instead of failing on it.
+// Same recovery behavior as RecvCtx: stalls probe the sender with NACKs
+// under bounded, jittered exponential backoff.
+func (nd *Node) RecvMessageCtx(ctx context.Context, src int) ([]float32, int, error) {
 	start := time.Now()
-	rto := nd.cluster.retry.ProbeRTO
+	retry := nd.cluster.retry
+	rto := retry.ProbeRTO
+	var probes uint64
 	for {
-		timer := time.NewTimer(rto)
+		timer := time.NewTimer(jitterRTO(rto, retry.Jitter, nd.id, src, probes))
 		select {
 		case f := <-nd.inbox[src]:
 			timer.Stop()
 			nd.stats[src].ObserveRecvWait(time.Since(start).Nanoseconds())
-			if f.tag != tag {
-				return nil, fmt.Errorf("tcpfabric: node %d expected tag %d from %d, got %d",
-					nd.id, tag, src, f.tag)
-			}
-			return f.payload, nil
+			return f.payload, f.tag, nil
 		case <-timer.C:
 			// Stall: re-request the next expected frame in case it (or a
 			// NACK for it) was dropped. A probe for a frame the sender has
@@ -630,17 +682,18 @@ func (nd *Node) RecvCtx(ctx context.Context, src int, tag int) ([]float32, error
 				cobs.nacks.Add(1)
 			}
 			nd.sendCtl(src, kindNack, exp, false)
-			if rto *= 2; rto > nd.cluster.retry.MaxRTO {
-				rto = nd.cluster.retry.MaxRTO
+			probes++
+			if rto *= 2; rto > retry.MaxRTO {
+				rto = retry.MaxRTO
 			}
 		case <-ctx.Done():
 			timer.Stop()
 			nd.stats[src].Timeouts.Add(1)
-			return nil, fmt.Errorf("tcpfabric: recv %d<-%d after %v: %w",
+			return nil, 0, fmt.Errorf("tcpfabric: recv %d<-%d after %v: %w",
 				nd.id, src, time.Since(start).Round(time.Millisecond), ctx.Err())
 		case <-nd.closed:
 			timer.Stop()
-			return nil, fmt.Errorf("tcpfabric: node %d recv from %d: %w", nd.id, src, ErrClosed)
+			return nil, 0, fmt.Errorf("tcpfabric: node %d recv from %d: %w", nd.id, src, ErrClosed)
 		}
 	}
 }

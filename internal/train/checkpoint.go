@@ -323,3 +323,54 @@ func LoadLatestCheckpoint(dir string) (*Checkpoint, string, error) {
 	}
 	return nil, "", ErrNoCheckpoint
 }
+
+// GCCheckpoints prunes dir down to the newest keep valid checkpoints so
+// long elastic runs do not fill the disk. Files are ranked by name
+// (iteration then epoch, the write order); everything older than the
+// keep'th valid file is removed, as is any corrupt file in that older
+// range. Corrupt files newer than the cutoff are left alone — they are
+// within the window LoadLatestCheckpoint may still be probing, and they
+// cost one directory slot, not a model's worth of disk. keep <= 0
+// disables pruning. Removal needs no special atomicity: unlink either
+// happens or it does not, and the retained files are untouched either
+// way; the directory is fsynced afterwards like WriteFile's rename.
+func GCCheckpoints(dir string, keep int) error {
+	if keep <= 0 {
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("train: scan checkpoint dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if n := e.Name(); !e.IsDir() && strings.HasPrefix(n, "ckpt-") && strings.HasSuffix(n, ".inck") {
+			names = append(names, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	kept, removed := 0, 0
+	for _, n := range names {
+		path := filepath.Join(dir, n)
+		if kept >= keep {
+			if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("train: checkpoint gc: %w", err)
+			}
+			removed++
+			continue
+		}
+		if _, err := ReadCheckpointFile(path); err == nil {
+			kept++
+		}
+	}
+	if removed > 0 {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync() // best-effort, as in WriteFile
+			d.Close()
+		}
+	}
+	return nil
+}

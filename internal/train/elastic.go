@@ -48,12 +48,20 @@ type elasticSnap struct {
 	grad        []float32 // post-feedback local gradient, ready to exchange
 }
 
-// elasticWorker extends the fixed-topology worker with a seekable loader
-// and the replay snapshots.
+// elasticWorker extends the fixed-topology worker with a seekable loader,
+// the replay snapshots, and its membership + data-plane endpoints.
 type elasticWorker struct {
 	*worker
 	sl    *data.StepLoader
 	snaps [2]*elasticSnap // [0] newest
+	m     elastic.Membership
+	peer  *elastic.Peer
+	// ctx scopes this worker *generation*: cancelling it aborts every
+	// blocked wait (exchange receives, gathers, sync transfers) without
+	// consuming in-flight frames, so a superseded generation can be torn
+	// down before its replacement starts reading the same link streams.
+	// For runs without rejoin it is simply the run context.
+	ctx context.Context
 }
 
 func newElasticWorker(id int, build Builder, trainDS data.Dataset, o Options, ck *Checkpoint) (*elasticWorker, error) {
@@ -136,19 +144,24 @@ func (w *elasticWorker) restoreSnapshot(iter int) error {
 	return nil
 }
 
-// memberCkpt is one worker's contribution to a checkpoint gather.
-type memberCkpt struct {
-	cursor   uint64
-	residual []float32
-}
+// syncTagOffset is the in-band tag (relative to the epoch's TagBase) of
+// the join state-sync message. It sits far above every collective's tag
+// range (ring/mpi/hierarchy stay below ~2.4e4) and below EpochTagStride,
+// so the epoch-filtering peer treats it like any other same-epoch frame.
+const syncTagOffset = 1 << 19
 
-// elasticRun is the shared state of one RunElastic invocation.
+// elasticRun is the shared state of one RunElastic/RunElasticTCP
+// invocation. member hands each worker its membership endpoint (the
+// shared in-process coordinator, or that worker's TCP control-channel
+// client); transport hands it its data-plane endpoint plus an optional
+// cleanup.
 type elasticRun struct {
 	o         Options
 	iters     int
 	startIter int
-	coord     *elastic.Coordinator
-	fabric    *comm.Fabric
+	member    func(id int) elastic.Membership
+	transport func(id int) (elastic.Transport, func())
+	finalize  func([]float32) // owner-block finalizer for the exchange
 	testDS    data.Dataset
 
 	ctx    context.Context
@@ -191,51 +204,9 @@ func (r *elasticRun) storeFinal(id int, acc, loss float64) {
 // ring.AllReduceGroupCtx provides. On a graceful stop (Options.Stop) it
 // returns the partial result and ErrInterrupted.
 func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
-	if o.Workers < 1 {
-		return Result{}, fmt.Errorf("train: %d workers", o.Workers)
-	}
-	if o.BatchPerNode < 1 {
-		return Result{}, fmt.Errorf("train: batch per node %d", o.BatchPerNode)
-	}
-	if o.Algo != Ring {
-		return Result{}, fmt.Errorf("train: elastic training requires the ring algorithm (got %s)", o.Algo)
-	}
-	if o.EvalSamples == 0 {
-		o.EvalSamples = 256
-	}
-	if o.RecoveryWait <= 0 {
-		o.RecoveryWait = 5 * time.Second
-	}
-
-	var ck *Checkpoint
-	if o.Resume {
-		if o.CheckpointDir == "" {
-			return Result{}, fmt.Errorf("train: Resume requires CheckpointDir")
-		}
-		loaded, _, err := LoadLatestCheckpoint(o.CheckpointDir)
-		switch {
-		case err == nil:
-			ck = loaded
-		case errors.Is(err, ErrNoCheckpoint):
-			// Fresh start.
-		default:
-			return Result{}, err
-		}
-	}
-	numParams := build(rand.New(rand.NewSource(o.Seed))).NumParams()
-	if ck != nil {
-		if ck.Universe != o.Workers {
-			return Result{}, fmt.Errorf("train: checkpoint universe %d, run has %d workers", ck.Universe, o.Workers)
-		}
-		if len(ck.Weights) != numParams {
-			return Result{}, fmt.Errorf("train: checkpoint has %d weights, model has %d", len(ck.Weights), numParams)
-		}
-		if ck.NextIter > iters {
-			return Result{}, fmt.Errorf("train: checkpoint is at iteration %d, past the requested %d", ck.NextIter, iters)
-		}
-		if len(ck.Members) == 0 {
-			return Result{}, fmt.Errorf("train: checkpoint has no live members")
-		}
+	ck, err := prepareElastic(build, iters, &o)
+	if err != nil {
+		return Result{}, err
 	}
 
 	fabric := comm.NewFabric(o.Workers, o.Processor)
@@ -251,7 +222,16 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	}
 
 	r := &elasticRun{
-		o: o, iters: iters, coord: coord, fabric: fabric, testDS: testDS,
+		o: o, iters: iters, testDS: testDS,
+		finalize: o.finalizer(),
+		member:   func(int) elastic.Membership { return coord },
+		transport: func(id int) (elastic.Transport, func()) {
+			if inj != nil {
+				fp := fault.Wrap(fabric.Endpoint(id), inj, fault.Options{Finalize: o.finalizer()})
+				return fp, fp.Close
+			}
+			return fabric.Endpoint(id), nil
+		},
 		computeNs: make([]int64, o.Workers),
 		commNs:    make([]int64, o.Workers),
 		replays:   o.Obs.Counter("elastic_replays"),
@@ -281,7 +261,7 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			err := r.worker(id, build, trainDS, ck, inj)
+			err := r.worker(r.ctx, id, build, trainDS, ck, false)
 			if errors.Is(err, errWorkerDone) {
 				err = nil
 			}
@@ -356,6 +336,59 @@ func RunElastic(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 	return res, nil
 }
 
+// prepareElastic validates the options an elastic run requires, applies
+// their defaults in place, and loads the resume checkpoint if requested
+// (nil when starting fresh).
+func prepareElastic(build Builder, iters int, o *Options) (*Checkpoint, error) {
+	if o.Workers < 1 {
+		return nil, fmt.Errorf("train: %d workers", o.Workers)
+	}
+	if o.BatchPerNode < 1 {
+		return nil, fmt.Errorf("train: batch per node %d", o.BatchPerNode)
+	}
+	if o.Algo != Ring {
+		return nil, fmt.Errorf("train: elastic training requires the ring algorithm (got %s)", o.Algo)
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	if o.RecoveryWait <= 0 {
+		o.RecoveryWait = 5 * time.Second
+	}
+
+	var ck *Checkpoint
+	if o.Resume {
+		if o.CheckpointDir == "" {
+			return nil, fmt.Errorf("train: Resume requires CheckpointDir")
+		}
+		loaded, _, err := LoadLatestCheckpoint(o.CheckpointDir)
+		switch {
+		case err == nil:
+			ck = loaded
+		case errors.Is(err, ErrNoCheckpoint):
+			// Fresh start.
+		default:
+			return nil, err
+		}
+	}
+	numParams := build(rand.New(rand.NewSource(o.Seed))).NumParams()
+	if ck != nil {
+		if ck.Universe != o.Workers {
+			return nil, fmt.Errorf("train: checkpoint universe %d, run has %d workers", ck.Universe, o.Workers)
+		}
+		if len(ck.Weights) != numParams {
+			return nil, fmt.Errorf("train: checkpoint has %d weights, model has %d", len(ck.Weights), numParams)
+		}
+		if ck.NextIter > iters {
+			return nil, fmt.Errorf("train: checkpoint is at iteration %d, past the requested %d", ck.NextIter, iters)
+		}
+		if len(ck.Members) == 0 {
+			return nil, fmt.Errorf("train: checkpoint has no live members")
+		}
+	}
+	return ck, nil
+}
+
 func (ck *Checkpoint) contains(id int) bool {
 	for _, m := range ck.Members {
 		if m == id {
@@ -367,20 +400,23 @@ func (ck *Checkpoint) contains(id int) bool {
 
 // worker is one elastic training goroutine. It returns nil on normal
 // completion, errWorkerDone if it crashed (self-reported) or was evicted,
-// ErrInterrupted on a graceful stop, and a hard error otherwise.
-func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Checkpoint, inj *fault.Injector) error {
+// ErrInterrupted on a graceful stop, and a hard error otherwise. A
+// joining worker (already admitted to the membership by the caller)
+// rendezvouses first to splice into the ring and synchronize its state
+// from a survivor before it trains.
+func (r *elasticRun) worker(ctx context.Context, id int, build Builder, trainDS data.Dataset, ck *Checkpoint, joining bool) error {
 	o := r.o
 	w, err := newElasticWorker(id, build, trainDS, o, ck)
 	if err != nil {
 		return err
 	}
-	var tp elastic.Transport = r.fabric.Endpoint(id)
-	if inj != nil {
-		fp := fault.Wrap(r.fabric.Endpoint(id), inj, fault.Options{Finalize: o.finalizer()})
-		defer fp.Close()
-		tp = fp
+	w.ctx = ctx
+	w.m = r.member(id)
+	tp, cleanup := r.transport(id)
+	if cleanup != nil {
+		defer cleanup()
 	}
-	peer := elastic.NewPeer(tp)
+	w.peer = elastic.NewPeer(tp)
 
 	iter := r.startIter
 	pending := false   // a snapshot for iter exists and its exchange has not committed
@@ -393,10 +429,20 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	// the one it halts or completes with. A successful exchange implies
 	// every participant held the same view (epoch-banded tags), so these
 	// decisions are identical across members by construction.
-	view := r.coord.View()
+	view := w.m.View()
+	if joining {
+		// Catch up before emitting any traffic: meet the survivors at the
+		// join epoch's rendezvous, receive the exact pre-replay weights and
+		// optimizer state, and enter the loop as a full member.
+		iter, pending, view, err = r.rendezvous(w, id, iter, pending, true)
+		if err != nil {
+			return err
+		}
+		recovered = true
+	}
 	for iter < r.iters {
 		passStart := time.Now()
-		if err := r.ctx.Err(); err != nil {
+		if err := w.ctx.Err(); err != nil {
 			return err // a sibling hit a hard fault
 		}
 		// Graceful stop: agree on a halt boundary no member has exchanged
@@ -404,22 +450,22 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 		if o.Stop != nil {
 			select {
 			case <-o.Stop:
-				r.coord.ProposeHalt(iter)
+				w.m.ProposeHalt(iter)
 			default:
 			}
 		}
-		if h := r.coord.HaltIter(); h >= 0 && iter >= h {
+		if h := w.m.HaltIter(); h >= 0 && iter >= h {
 			return r.halt(w, id, iter, pending, view)
 		}
-		r.coord.Beat(id)
-		cur := r.coord.View()
+		w.m.Beat(id)
+		cur := w.m.View()
 		if !cur.Contains(id) {
 			return errWorkerDone
 		}
 		if cur.Epoch != view.Epoch {
 			// The membership moved while this worker was between exchanges:
 			// it must rendezvous before emitting any new-epoch traffic.
-			iter, pending, view, err = r.rendezvous(w, id, iter, pending)
+			iter, pending, view, err = r.rendezvous(w, id, iter, pending, false)
 			if err != nil {
 				return err
 			}
@@ -451,8 +497,8 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 
 		// The exchange runs under the epoch context: a death declaration
 		// cancels it on every survivor at once.
-		exCtx, exCancel := context.WithCancel(r.ctx)
-		stopLink := context.AfterFunc(r.coord.EpochContext(view.Epoch), exCancel)
+		exCtx, exCancel := context.WithCancel(w.ctx)
+		stopLink := context.AfterFunc(w.m.EpochContext(view.Epoch), exCancel)
 		ropt := ring.Options{
 			StepTimeout: o.StepTimeout,
 			ChunkSize:   o.ChunkSize,
@@ -461,7 +507,7 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			ObsIter:     iter,
 		}
 		tx := time.Now()
-		exErr := ring.AllReduceGroupCtx(exCtx, peer, view.Members, w.grad, o.gradTos(), o.finalizer(), ropt)
+		exErr := ring.AllReduceGroupCtx(exCtx, w.peer, view.Members, w.grad, o.gradTos(), r.finalize, ropt)
 		stopLink()
 		exCancel()
 		r.commNs[id] += time.Since(tx).Nanoseconds()
@@ -470,7 +516,7 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			// This node is the casualty: its own transport refuses service.
 			// Self-report (a real process would exit and drop its lease) and
 			// leave; the survivors reconfigure around us.
-			r.coord.ReportDead(id, exErr)
+			w.m.ReportDead(id, exErr)
 			return errWorkerDone
 		}
 		if exErr == nil {
@@ -505,20 +551,20 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 			}
 			continue
 		}
-		if r.coord.View().Epoch == view.Epoch {
+		if w.m.View().Epoch == view.Epoch {
 			// The exchange failed but nobody has been declared dead yet.
 			// Surface the evidence and wait (bounded) for a verdict: either
 			// the epoch advances and recovery proceeds, or the fault was not
 			// a membership event and it stands as the run's error.
-			r.coord.ReportAnomaly(id, exErr)
-			wctx, wcancel := context.WithTimeout(r.ctx, o.RecoveryWait)
-			_, werr := r.coord.AwaitEpoch(wctx, id, view.Epoch)
+			w.m.ReportAnomaly(id, exErr)
+			wctx, wcancel := context.WithTimeout(w.ctx, o.RecoveryWait)
+			_, werr := w.m.AwaitEpoch(wctx, id, view.Epoch)
 			wcancel()
 			if werr != nil {
 				return fmt.Errorf("train: worker %d iter %d: %w", id, iter, exErr)
 			}
 		}
-		iter, pending, view, err = r.rendezvous(w, id, iter, pending)
+		iter, pending, view, err = r.rendezvous(w, id, iter, pending, false)
 		if err != nil {
 			return err
 		}
@@ -528,7 +574,7 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	// Natural completion. All members of the final committed exchange
 	// arrive here in lockstep; the final checkpoint gathers under that
 	// commit-time view so everyone makes the same gather-or-skip call.
-	r.coord.Beat(id)
+	w.m.Beat(id)
 	if o.CheckpointDir != "" {
 		if err := r.checkpoint(w, id, r.iters, w.sl.Cursor(), w.residual, view); err != nil {
 			return err
@@ -542,35 +588,71 @@ func (r *elasticRun) worker(id int, build Builder, trainDS data.Dataset, ck *Che
 	// Leave the membership so a survivor still mid-recovery never blocks
 	// on this exited worker: the departure advances the epoch, failing its
 	// rendezvous, and it re-resolves against the shrunken view.
-	r.coord.Depart(id)
+	w.m.Depart(id)
 	return nil
 }
 
 // rendezvous runs the recovery protocol after a membership change: all
-// survivors meet at an epoch-scoped barrier, exchange their current
-// iterations, and roll back to the minimum — the newest iteration every
-// survivor can still replay. The barrier doubles as the guarantee that no
-// survivor emits new-epoch traffic before everyone abandoned the old
-// epoch, so the only foreign frames a replay can meet are stale ones,
-// which the epoch-filtering peer discards.
-func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending bool) (int, bool, elastic.View, error) {
+// members meet at an epoch-scoped barrier, exchange their current
+// iterations, and roll back to the minimum over the *established*
+// members — the newest iteration every survivor can still replay. The
+// barrier doubles as the guarantee that no member emits new-epoch
+// traffic before everyone abandoned the old epoch, so the only foreign
+// frames a replay can meet are stale ones, which the epoch-filtering
+// peer discards.
+//
+// Joins ride the same barrier: a joining member contributes a marked
+// item (excluded from the replay minimum — its checkpointed iteration
+// may be arbitrarily stale), and the lowest established member ships it
+// the exact pre-replay weights and optimizer state over the data plane
+// before starting its own exchange. Per-link FIFO ordering makes the
+// sync frame arrive ahead of any same-epoch ring traffic from that
+// sender, and the epoch band keeps stale pre-crash frames out of the
+// way, so the joiner splices in bit-exactly.
+func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending, joining bool) (int, bool, elastic.View, error) {
 	for {
-		r.coord.Beat(id)
-		cur := r.coord.View()
+		w.m.Beat(id)
+		cur := w.m.View()
 		if !cur.Contains(id) {
 			return 0, false, cur, errWorkerDone
 		}
-		vals, err := r.coord.Gather(r.ctx, id, cur.Epoch, fmt.Sprintf("recover@%d", cur.Epoch), iter)
+		vals, err := w.m.Gather(w.ctx, id, cur.Epoch, fmt.Sprintf("recover@%d", cur.Epoch),
+			elastic.Item{Iter: int64(iter), Joining: joining})
 		if errors.Is(err, elastic.ErrEpochChanged) {
 			continue // another death while gathering: redo under the new view
 		}
-		if errors.Is(err, elastic.ErrEvicted) {
+		if errors.Is(err, elastic.ErrEvicted) || errors.Is(err, elastic.ErrClosed) {
+			// Evicted, or this generation's membership endpoint was retired
+			// under it (a replacement generation took over the id): either
+			// way this worker is out of the run, not the run's failure.
 			return 0, false, cur, errWorkerDone
 		}
 		if err != nil {
 			return 0, false, cur, fmt.Errorf("train: worker %d recovery rendezvous: %w", id, err)
 		}
-		replay := elastic.MinIter(vals)
+		replay, joiners, syncFrom, ok := splitRendezvous(vals)
+		if !ok {
+			if joining {
+				// Every established member left (the run completed or
+				// collapsed) before this joiner caught up: there is nothing to
+				// splice into, and that is not the joiner's failure.
+				return 0, false, cur, errWorkerDone
+			}
+			return 0, false, cur, fmt.Errorf("train: worker %d: rendezvous at epoch %d has no established member to recover from", id, cur.Epoch)
+		}
+
+		if joining {
+			if err := r.joinSync(w, syncFrom, cur, replay); err != nil {
+				if w.m.View().Epoch != cur.Epoch {
+					continue // the membership moved mid-sync: redo the rendezvous
+				}
+				return 0, false, cur, fmt.Errorf("train: worker %d join sync from %d: %w", id, syncFrom, err)
+			}
+			r.replays.Add(1)
+			return replay, false, cur, nil
+		}
+
+		newIter, newPending := iter, pending
 		switch {
 		case replay < iter:
 			// A survivor aborted mid-exchange of replay; everyone rolls back.
@@ -581,7 +663,7 @@ func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending bool) (i
 				return 0, false, cur, err
 			}
 			r.replays.Add(1)
-			return replay, true, cur, nil
+			newIter, newPending = replay, true
 		case pending:
 			// Common iteration, but this worker's gradient buffer is dirty
 			// from the aborted exchange: restore the pristine snapshot.
@@ -592,12 +674,104 @@ func (r *elasticRun) rendezvous(w *elasticWorker, id, iter int, pending bool) (i
 				return 0, false, cur, err
 			}
 			r.replays.Add(1)
-			return iter, true, cur, nil
+			newPending = true
 		default:
-			// Nothing in flight (the death landed between exchanges).
-			return iter, false, cur, nil
+			// Nothing in flight (the event landed between exchanges).
+			newPending = false
+		}
+		if len(joiners) > 0 && id == syncFrom {
+			// State is now exactly pre-replay: ship it to every joiner before
+			// engaging the ring (the joiner will not emit ring traffic until
+			// it has applied this).
+			if err := r.sendSync(w, joiners, cur); err != nil {
+				if w.m.View().Epoch != cur.Epoch {
+					iter, pending = newIter, newPending
+					continue // superseded mid-sync: the next epoch re-runs this
+				}
+				return 0, false, cur, fmt.Errorf("train: worker %d join sync send: %w", id, err)
+			}
+		}
+		return newIter, newPending, cur, nil
+	}
+}
+
+// splitRendezvous separates a rendezvous gather into the replay decision
+// inputs: the minimum iteration over established (non-joining) members,
+// the sorted joiner ids, and the sync source (the lowest established
+// member — View.Leader may be a joiner, which cannot source state). ok
+// is false when no established member is present.
+func splitRendezvous(vals map[int]interface{}) (replay int, joiners []int, syncFrom int, ok bool) {
+	syncFrom = -1
+	for m, v := range vals {
+		it := v.(elastic.Item)
+		if it.Joining {
+			joiners = append(joiners, m)
+			continue
+		}
+		if syncFrom < 0 || int(it.Iter) < replay {
+			replay = int(it.Iter)
+		}
+		if syncFrom < 0 || m < syncFrom {
+			syncFrom = m
 		}
 	}
+	sort.Ints(joiners)
+	return replay, joiners, syncFrom, syncFrom >= 0
+}
+
+// sendSync ships this worker's current weights and optimizer state to
+// each joiner over the data plane, tagged into the join epoch's band.
+// ToS 0 keeps the payload on the raw (uncompressed) path: the joiner
+// must receive these bits exactly.
+func (r *elasticRun) sendSync(w *elasticWorker, joiners []int, cur elastic.View) error {
+	wv := w.net.WeightVector(nil)
+	vv := w.sgd.VelocityVector(w.net.Params(), nil)
+	payload := make([]float32, 0, len(wv)+len(vv))
+	payload = append(payload, wv...)
+	payload = append(payload, vv...)
+	sctx, scancel := context.WithCancel(w.ctx)
+	defer scancel()
+	stop := context.AfterFunc(w.m.EpochContext(cur.Epoch), scancel)
+	defer stop()
+	tag := elastic.TagBase(cur.Epoch) + syncTagOffset
+	for _, j := range joiners {
+		if err := w.peer.SendCtx(sctx, j, payload, 0, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// joinSync receives the sync source's state and fast-forwards this
+// (joining) worker to the rendezvous iteration: synced weights and
+// velocity, the loader seeked to the replay batch, a cleared residual
+// (the joiner starts its error-feedback history fresh), and no retained
+// snapshots — the checkpoint it booted from is now fully superseded.
+func (r *elasticRun) joinSync(w *elasticWorker, from int, cur elastic.View, replay int) error {
+	sctx, scancel := context.WithTimeout(w.ctx, r.o.RecoveryWait)
+	defer scancel()
+	stop := context.AfterFunc(w.m.EpochContext(cur.Epoch), scancel)
+	defer stop()
+	payload, err := w.peer.RecvCtx(sctx, from, elastic.TagBase(cur.Epoch)+syncTagOffset)
+	if err != nil {
+		return err
+	}
+	n := w.net.NumParams()
+	if len(payload) != 2*n {
+		return fmt.Errorf("train: join sync carried %d values, want %d", len(payload), 2*n)
+	}
+	w.net.SetWeightVector(payload[:n])
+	if err := w.sgd.SetVelocityVector(w.net.Params(), payload[n:]); err != nil {
+		return err
+	}
+	w.sl.Seek(uint64(replay))
+	if w.residual != nil {
+		for i := range w.residual {
+			w.residual[i] = 0
+		}
+	}
+	w.snaps = [2]*elasticSnap{}
+	return nil
 }
 
 // halt finishes a graceful stop at the agreed boundary: write the final
@@ -619,7 +793,7 @@ func (r *elasticRun) halt(w *elasticWorker, id, iter int, pending bool, view ela
 		}
 	}
 	r.storeWeights(id, w.net.WeightVector(nil))
-	r.coord.Depart(id)
+	w.m.Depart(id)
 	return ErrInterrupted
 }
 
@@ -635,14 +809,14 @@ func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint6
 	if !view.Contains(id) {
 		return nil
 	}
-	contrib := memberCkpt{cursor: cursor}
+	contrib := elastic.Item{Iter: int64(nextIter), Cursor: cursor}
 	if residual != nil {
-		contrib.residual = append([]float32(nil), residual...)
+		contrib.Residual = append([]float32(nil), residual...)
 	}
 	key := fmt.Sprintf("ckpt@e%d@i%d", view.Epoch, nextIter)
-	vals, err := r.coord.Gather(r.ctx, id, view.Epoch, key, contrib)
+	vals, err := w.m.Gather(w.ctx, id, view.Epoch, key, contrib)
 	if err != nil {
-		if errors.Is(err, elastic.ErrEpochChanged) || errors.Is(err, elastic.ErrEvicted) {
+		if errors.Is(err, elastic.ErrEpochChanged) || errors.Is(err, elastic.ErrEvicted) || errors.Is(err, elastic.ErrClosed) {
 			return nil
 		}
 		return fmt.Errorf("train: worker %d checkpoint gather: %w", id, err)
@@ -661,10 +835,10 @@ func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint6
 		Residuals: make(map[int][]float32, len(vals)),
 	}
 	for m, v := range vals {
-		mc := v.(memberCkpt)
-		ck.Cursors[m] = mc.cursor
-		if mc.residual != nil {
-			ck.Residuals[m] = mc.residual
+		mc := v.(elastic.Item)
+		ck.Cursors[m] = mc.Cursor
+		if mc.Residual != nil {
+			ck.Residuals[m] = mc.Residual
 		}
 	}
 	wt := time.Now()
@@ -675,5 +849,5 @@ func (r *elasticRun) checkpoint(w *elasticWorker, id, nextIter int, cursor uint6
 	if werr != nil {
 		return werr
 	}
-	return nil
+	return GCCheckpoints(r.o.CheckpointDir, r.o.checkpointKeep())
 }

@@ -1,0 +1,456 @@
+// Elastic training over real sockets: the RunElastic recovery machinery
+// (eviction, epoch-scoped rendezvous, ≤1-iteration replay, durable
+// checkpoints) running on the tcpfabric data plane with membership
+// carried over the TCP control channel — plus the grow half of the
+// autoscale loop. When Options.Join is set, a worker evicted by the
+// failure detector is restarted: it loads the newest valid checkpoint,
+// rejoins through the coordinator's epoch sequence, and is spliced back
+// into the ring with its state synchronized bit-exactly from a survivor.
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inceptionn/internal/data"
+	"inceptionn/internal/elastic"
+	"inceptionn/internal/fault"
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/obs"
+	"inceptionn/internal/tcpfabric"
+)
+
+// tcpElastic is the mutable shared state of one RunElasticTCP invocation
+// beyond what elasticRun carries: the per-id control clients (replaced
+// across worker generations), the rejoin bookkeeping, and the run
+// outcome accumulators.
+type tcpElastic struct {
+	run     *elasticRun
+	o       Options
+	build   Builder
+	trainDS data.Dataset
+	cluster *tcpfabric.Cluster
+	coord   *elastic.Coordinator
+	srv     *elastic.CtrlServer
+	inj     *fault.Injector
+
+	partitionAfter time.Duration
+	ctrlSeqs       []atomic.Uint64 // per-id chaos sequence, across client generations
+	obsJoinRuns    *obs.Counter
+
+	wg sync.WaitGroup
+
+	mu          sync.Mutex
+	clients     []*elastic.Client
+	rejoining   []bool
+	genCancel   []context.CancelFunc // cancels the id's current worker generation
+	genDone     []chan struct{}      // closed when that generation has fully exited
+	finishing   bool
+	interrupted bool
+	errs        []error
+}
+
+// RunElasticTCP trains like RunElastic but over loopback TCP sockets:
+// gradients cross tcpfabric (compressed by its NIC engine model when
+// o.Compress is set — Options.Processor is ignored, bound selects the
+// engines' error bound), and membership runs over the control channel
+// listening on o.CoordAddr. o.Chaos faults both planes: data-plane
+// faults through the fabric's injector and control-plane faults through
+// links addressed to elastic.CtrlPeer. With o.Join, evicted workers are
+// revived and rejoin the ring (see tcpElastic.rejoin).
+func RunElasticTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Options, bound fpcodec.Bound) (Result, error) {
+	ck, err := prepareElastic(build, iters, &o)
+	if err != nil {
+		return Result{}, err
+	}
+
+	copts := tcpfabric.ClusterOptions{Compress: o.Compress, Bound: bound, Obs: o.Obs}
+	var inj *fault.Injector
+	if o.Chaos != nil {
+		inj = fault.NewInjector(o.Workers, *o.Chaos)
+		copts.Chaos = inj
+	}
+	cluster, err := tcpfabric.NewClusterWithOptions(o.Workers, copts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cluster.Close()
+
+	coord := elastic.NewCoordinator(o.Workers, elastic.Config{SuspectAfter: o.SuspectAfter, Obs: o.Obs})
+	defer coord.Close()
+	addr := o.CoordAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := elastic.ServeCtrl(addr, coord)
+	if err != nil {
+		return Result{}, err
+	}
+	defer srv.Close()
+
+	var finalize func([]float32)
+	if o.Compress {
+		finalize = func(b []float32) {
+			for i, v := range b {
+				b[i] = fpcodec.Roundtrip(v, bound)
+			}
+		}
+	}
+	// The client-side partition threshold tracks the server-side suspect
+	// threshold: a worker that cannot reach the coordinator halts on
+	// roughly the same clock that would evict it, so neither side lingers
+	// on a view the other has abandoned.
+	partitionAfter := 2 * time.Second
+	if o.SuspectAfter > 0 {
+		partitionAfter = 2 * o.SuspectAfter
+	}
+
+	r := &elasticRun{
+		o: o, iters: iters, testDS: testDS,
+		finalize:  finalize,
+		transport: func(id int) (elastic.Transport, func()) { return cluster.Node(id), nil },
+		computeNs: make([]int64, o.Workers),
+		commNs:    make([]int64, o.Workers),
+		replays:   o.Obs.Counter("elastic_replays"),
+		ckptHist:  o.Obs.Histogram("checkpoint_write_seconds"),
+		evals:     make(map[int]EvalPoint),
+		weights:   make(map[int][]float32),
+		final:     make(map[int][2]float64),
+	}
+	t := &tcpElastic{
+		run: r, o: o, build: build, trainDS: trainDS,
+		cluster: cluster, coord: coord, srv: srv, inj: inj,
+		partitionAfter: partitionAfter,
+		ctrlSeqs:       make([]atomic.Uint64, o.Workers),
+		obsJoinRuns:    o.Obs.Counter("elastic_join_workers"),
+		clients:        make([]*elastic.Client, o.Workers),
+		rejoining:      make([]bool, o.Workers),
+		genCancel:      make([]context.CancelFunc, o.Workers),
+		genDone:        make([]chan struct{}, o.Workers),
+	}
+	r.member = t.member
+	if ck != nil {
+		r.startIter = ck.NextIter
+		for id := 0; id < o.Workers; id++ {
+			if !ck.contains(id) {
+				coord.ReportDead(id, fmt.Errorf("train: node %d was dead at checkpoint (epoch %d)", id, ck.Epoch))
+			}
+		}
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	defer r.cancel()
+
+	// A node's transport anomalies (exhausted retransmits, stream desync)
+	// are soft evidence for the failure detector, not a run abort: in an
+	// elastic run the usual cause is a dead peer, and the membership
+	// protocol — not the fabric — decides what that means.
+	for id := 0; id < o.Workers; id++ {
+		go func(id int, errCh <-chan error) {
+			for {
+				select {
+				case err := <-errCh:
+					coord.ReportAnomaly(id, err)
+				case <-r.ctx.Done():
+					return
+				}
+			}
+		}(id, cluster.Node(id).Errors())
+	}
+
+	view := coord.View()
+	for _, id := range view.Members {
+		cl, err := t.dial(id)
+		if err != nil {
+			return Result{}, fmt.Errorf("train: worker %d control dial: %w", id, err)
+		}
+		t.setClient(id, cl)
+		// Establish the heartbeat baseline before the workers spin up:
+		// model construction can outlast the staleness limit, and a node
+		// must not be declared dead before it ever got to live.
+		cl.Beat(id)
+	}
+	defer t.closeClients()
+
+	if o.Join {
+		go t.janitor()
+	}
+	for _, id := range view.Members {
+		t.wg.Add(1)
+		go func(id int) {
+			defer t.wg.Done()
+			t.finish(id, t.runWorker(id, ck, false))
+		}(id)
+	}
+	// Two-phase wait: a rejoin in flight holds the WaitGroup, but one that
+	// slips in between the first Wait returning and the finishing flag
+	// being set is caught by the second Wait (rejoin checks the flag under
+	// the same lock).
+	t.wg.Wait()
+	t.mu.Lock()
+	t.finishing = true
+	t.mu.Unlock()
+	t.wg.Wait()
+
+	t.mu.Lock()
+	hard := append([]error(nil), t.errs...)
+	interrupted := t.interrupted
+	t.mu.Unlock()
+	if err := firstError(hard); err != nil {
+		return Result{}, err
+	}
+
+	var res Result
+	r.mu.Lock()
+	iterKeys := make([]int, 0, len(r.evals))
+	for it := range r.evals {
+		iterKeys = append(iterKeys, it)
+	}
+	sort.Ints(iterKeys)
+	for _, it := range iterKeys {
+		res.Evals = append(res.Evals, r.evals[it])
+	}
+	lead := -1
+	for id := range r.weights {
+		if lead < 0 || id < lead {
+			lead = id
+		}
+	}
+	if lead < 0 {
+		r.mu.Unlock()
+		var causes []string
+		for id := 0; id < o.Workers; id++ {
+			if c := coord.DeathCause(id); c != nil {
+				causes = append(causes, fmt.Sprintf("node %d: %v", id, c))
+			}
+		}
+		detail := "no death evidence recorded"
+		if len(causes) > 0 {
+			detail = strings.Join(causes, "; ")
+		}
+		return Result{}, fmt.Errorf("train: no member completed the run (%s)", detail)
+	}
+	res.FinalWeights = r.weights[lead]
+	if fl, ok := r.final[lead]; ok {
+		res.FinalAcc, res.FinalLoss = fl[0], fl[1]
+	}
+	r.mu.Unlock()
+	for id := 0; id < o.Workers; id++ {
+		res.WireBytes += cluster.Node(id).SentBytes()
+	}
+	if !o.Compress {
+		res.RawBytes = res.WireBytes // raw path: every payload byte hits the wire as-is
+	}
+	res.ComputeSeconds = nsSeconds(r.computeNs)
+	res.CommSeconds = nsSeconds(r.commNs)
+	if interrupted {
+		return res, ErrInterrupted
+	}
+	return res, nil
+}
+
+// member hands a worker its current control client. Generations of the
+// same id (crash, then rejoin) swap the slot under the lock.
+func (t *tcpElastic) member(id int) elastic.Membership {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clients[id]
+}
+
+func (t *tcpElastic) setClient(id int, cl *elastic.Client) {
+	t.mu.Lock()
+	if old := t.clients[id]; old != nil {
+		old.Close()
+	}
+	t.clients[id] = cl
+	t.mu.Unlock()
+}
+
+func (t *tcpElastic) closeClients() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, cl := range t.clients {
+		if cl != nil {
+			cl.Close()
+		}
+	}
+}
+
+func (t *tcpElastic) dial(id int) (*elastic.Client, error) {
+	return elastic.DialCtrl(t.srv.Addr(), id, elastic.CtrlOptions{
+		PartitionAfter: t.partitionAfter,
+		Chaos:          t.inj,
+		Seq:            &t.ctrlSeqs[id],
+	})
+}
+
+// runWorker runs one worker generation with a background heartbeat.
+// The training loop beats once per iteration, but a worker parked in a
+// blocked exchange (its peer just died) goes silent for as long as the
+// failure detector takes to evict the peer — exactly long enough for
+// its own staleness to race the peer's, and a healthy-but-blocked
+// survivor must never lose that race. Beating from a goroutine makes
+// the heartbeat mean process liveness, which is the right reading here:
+// data-plane hangs are bounded by StepTimeout, and control-plane
+// partitions still silence the beats (they are dropped on the floor),
+// so both real failure modes keep their detection paths.
+func (t *tcpElastic) runWorker(id int, ck *Checkpoint, joining bool) error {
+	// Each generation gets its own context under the run's: a rejoin for
+	// the same id cancels it (and waits for the exit) before re-admitting
+	// the node, so a superseded generation parked in a data-plane receive
+	// can never consume a frame meant for its replacement — the streams
+	// are per-link FIFOs, and one stolen frame desyncs the whole ring.
+	gctx, gcancel := context.WithCancel(t.run.ctx)
+	done := make(chan struct{})
+	t.mu.Lock()
+	t.genCancel[id], t.genDone[id] = gcancel, done
+	t.mu.Unlock()
+	defer close(done)
+	defer gcancel()
+
+	if t.o.SuspectAfter > 0 {
+		every := t.o.SuspectAfter / 4
+		if every < time.Millisecond {
+			every = time.Millisecond
+		}
+		go func() {
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if m := t.member(id); m != nil {
+						m.Beat(id)
+					}
+				case <-gctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	err := t.run.worker(gctx, id, t.build, t.trainDS, ck, joining)
+	if gctx.Err() != nil && t.run.ctx.Err() == nil {
+		return errWorkerDone // superseded by a newer generation
+	}
+	return err
+}
+
+// finish folds one worker generation's outcome into the run result.
+func (t *tcpElastic) finish(id int, err error) {
+	if err == nil || errors.Is(err, errWorkerDone) {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if errors.Is(err, ErrInterrupted) {
+		t.interrupted = true
+		return
+	}
+	t.errs = append(t.errs, err)
+	t.run.cancel() // a real fault: unblock the siblings
+}
+
+// janitor watches the coordinator's epoch sequence and starts a rejoin
+// for every member the failure detector evicts (graceful departures have
+// no death cause and are left alone). It observes the same serialized
+// event stream the workers do, so a join it triggers can never race past
+// the eviction that motivated it.
+func (t *tcpElastic) janitor() {
+	known := t.coord.View()
+	for {
+		v, _, err := t.coord.WaitEvent(t.run.ctx, known.Epoch)
+		if err != nil {
+			return // run over or coordinator closed
+		}
+		for _, id := range known.Members {
+			if !v.Contains(id) && t.coord.DeathCause(id) != nil {
+				t.rejoin(id)
+			}
+		}
+		known = v
+	}
+}
+
+// rejoin starts a replacement worker for an evicted id (at most one at a
+// time per id, and none once the run is finishing).
+func (t *tcpElastic) rejoin(id int) {
+	t.mu.Lock()
+	if t.rejoining[id] || t.finishing {
+		t.mu.Unlock()
+		return
+	}
+	t.rejoining[id] = true
+	t.wg.Add(1)
+	t.mu.Unlock()
+	go func() {
+		defer t.wg.Done()
+		defer func() {
+			t.mu.Lock()
+			t.rejoining[id] = false
+			t.mu.Unlock()
+		}()
+		t.finish(id, t.rejoinWorker(id))
+	}()
+}
+
+// rejoinWorker models the failed process restarting on the same host:
+// revive its transport, load the newest valid checkpoint for a warm
+// start, re-admit the id through the coordinator's epoch sequence
+// (retrying while a partition window is still open), and run a joining
+// worker that synchronizes exact state at the rendezvous. Returns
+// errWorkerDone if the run ends before the node gets back in.
+func (t *tcpElastic) rejoinWorker(id int) error {
+	// Tear down the previous generation first, before the coordinator can
+	// re-admit the id: once Join succeeds, survivors start emitting
+	// join-epoch frames toward this node, and a leftover blocked receive
+	// from the old generation would swallow one of them (see runWorker).
+	t.mu.Lock()
+	gcancel, done := t.genCancel[id], t.genDone[id]
+	t.mu.Unlock()
+	if gcancel != nil {
+		gcancel()
+	}
+	if done != nil {
+		select {
+		case <-done:
+		case <-t.run.ctx.Done():
+			return errWorkerDone
+		}
+	}
+	if t.inj != nil {
+		t.inj.Revive(id)
+	}
+	var ck *Checkpoint
+	if t.o.CheckpointDir != "" {
+		if loaded, _, err := LoadLatestCheckpoint(t.o.CheckpointDir); err == nil && loaded.Universe == t.o.Workers {
+			ck = loaded
+		}
+	}
+	var cl *elastic.Client
+	for cl == nil {
+		if t.run.ctx.Err() != nil {
+			return errWorkerDone
+		}
+		c, err := t.dial(id)
+		if err == nil {
+			if _, jerr := c.Join(id); jerr == nil {
+				cl = c
+				break
+			}
+			c.Close()
+		}
+		select {
+		case <-time.After(100 * time.Millisecond):
+		case <-t.run.ctx.Done():
+			return errWorkerDone
+		}
+	}
+	t.setClient(id, cl)
+	t.obsJoinRuns.Add(1)
+	return t.runWorker(id, ck, true)
+}

@@ -1,0 +1,250 @@
+package train
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"inceptionn/internal/elastic"
+	"inceptionn/internal/fault"
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/models"
+)
+
+func elasticTCPOptions() Options {
+	o := elasticOptions()
+	o.StepTimeout = 20 * time.Second
+	return o
+}
+
+// TestElasticTCPJoin is the acceptance run for elastic scale-out over real
+// sockets: a 4-node TCP ring loses one worker to a chaos crash, the
+// survivors reconfigure, and the janitor brings the node back — it loads
+// the newest checkpoint, rejoins through the coordinator's epoch sequence,
+// and is spliced into the ring with state synced from a survivor. The
+// post-join checkpoint then resumes on a chaos-free run to bitwise the
+// same final weights, proving the joined ring computes exactly what a
+// 4-member ring at the same schedule computes.
+func TestElasticTCPJoin(t *testing.T) {
+	trainDS, testDS := digitsData()
+	const iters = 30
+	dirA := t.TempDir()
+
+	o := elasticTCPOptions()
+	o.CheckpointDir = dirA
+	o.CheckpointKeep = -1 // keep every checkpoint; the test dissects them
+	o.Join = true
+	// Node 2 has sent ~10 iterations' worth of frames when the schedule
+	// trips, crashing it mid-exchange.
+	o.Chaos = &fault.Config{Seed: 7, CrashAfter: map[int]uint64{2: 65}}
+	resA, err := RunElasticTCP(models.NewHDCSmall, trainDS, testDS, iters, o, fpcodec.MustBound(10))
+	if err != nil {
+		t.Fatalf("crash+join run failed: %v", err)
+	}
+	if resA.FinalWeights == nil {
+		t.Fatal("crash+join run produced no weights")
+	}
+
+	// The run's checkpoint trail must show the full cycle: an eviction
+	// epoch without node 2, then a join epoch with all 4 members again.
+	// Pick the earliest full-membership mid-run checkpoint as the resume
+	// point.
+	entries, err := os.ReadDir(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinCk *Checkpoint
+	var joinName string
+	sawEviction := false
+	for _, e := range entries {
+		ck, err := ReadCheckpointFile(filepath.Join(dirA, e.Name()))
+		if err != nil {
+			t.Fatalf("invalid checkpoint %s: %v", e.Name(), err)
+		}
+		if ck.NextIter >= iters {
+			continue
+		}
+		if len(ck.Members) == 3 && !ck.contains(2) {
+			sawEviction = true
+			continue
+		}
+		if len(ck.Members) == 4 && ck.Epoch >= 2 {
+			if joinCk == nil || ck.NextIter < joinCk.NextIter {
+				joinCk, joinName = ck, e.Name()
+			}
+		}
+	}
+	if joinCk == nil {
+		t.Fatal("no post-join checkpoint (4 members, epoch >= 2) was written")
+	}
+	_ = sawEviction // the eviction checkpoint may be skipped if the join raced it
+
+	// Resume from the post-join checkpoint on a fresh, chaos-free run: the
+	// member schedule from that point on is identical (all 4 nodes to the
+	// end), so the final weights must match bit-for-bit.
+	dirB := t.TempDir()
+	raw, err := os.ReadFile(filepath.Join(dirA, joinName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirB, joinName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o2 := elasticTCPOptions()
+	o2.CheckpointDir = dirB
+	o2.Resume = true
+	resB, err := RunElasticTCP(models.NewHDCSmall, trainDS, testDS, iters, o2, fpcodec.MustBound(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weightsEqual(t, resA.FinalWeights, resB.FinalWeights, "crash+join run vs resume from post-join checkpoint")
+}
+
+// TestElasticTCPPartitionHeal cuts one worker's control link for a window
+// of frames: the partitioned minority must halt (fail closed, no
+// split-brain writes), the majority must evict it and continue, and once
+// the window heals the janitor must bring the node back through the
+// normal join path. Completion with a full-membership checkpoint at a
+// post-join epoch is the proof of the whole cycle.
+func TestElasticTCPPartitionHeal(t *testing.T) {
+	trainDS, testDS := digitsData()
+	const iters = 60
+	dir := t.TempDir()
+
+	o := elasticTCPOptions()
+	o.CheckpointDir = dir
+	o.CheckpointKeep = -1
+	o.Join = true
+	o.SuspectAfter = time.Second
+	// Pace the loop so the run comfortably outlasts the outage-and-heal
+	// schedule below on fast machines.
+	o.Straggler = map[int]time.Duration{
+		0: 50 * time.Millisecond, 1: 50 * time.Millisecond,
+		2: 50 * time.Millisecond, 3: 50 * time.Millisecond,
+	}
+	// Black-hole node 3's control link for a wall-clock window that
+	// outlasts the staleness limit: the coordinator evicts it (grading
+	// the silence as a link partition — its control connection dropped),
+	// the node fails closed, and once the window ends the janitor's
+	// redial gets through and splices it back in.
+	o.Chaos = &fault.Config{
+		Seed: 5,
+		Links: map[fault.Link]fault.LinkFaults{
+			{Src: 3, Dst: elastic.CtrlPeer}: {
+				DropRate:     1,
+				FromElapsed:  500 * time.Millisecond,
+				UntilElapsed: 3 * time.Second,
+			},
+		},
+	}
+
+	done := make(chan struct{})
+	var res Result
+	var err error
+	go func() {
+		defer close(done)
+		res, err = RunElasticTCP(models.NewHDCSmall, trainDS, testDS, iters, o, fpcodec.MustBound(10))
+	}()
+	select {
+	case <-done:
+	case <-time.After(300 * time.Second):
+		t.Fatal("partition-heal run hung")
+	}
+	if err != nil {
+		t.Fatalf("partition-heal run failed: %v", err)
+	}
+	if res.FinalWeights == nil {
+		t.Fatal("partition-heal run produced no weights")
+	}
+
+	// The trail must show node 3 back in the membership at an epoch past
+	// its eviction (evict bumps to >= 1, rejoin to >= 2).
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejoined := false
+	for _, e := range entries {
+		ck, err := ReadCheckpointFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatalf("invalid checkpoint %s: %v", e.Name(), err)
+		}
+		if ck.Epoch >= 2 && len(ck.Members) == 4 && ck.contains(3) {
+			rejoined = true
+		}
+	}
+	if !rejoined {
+		t.Fatal("no checkpoint shows node 3 rejoined after the partition healed")
+	}
+}
+
+// TestGCCheckpointsKeepsNewestValid pins the pruning contract: the newest
+// K *valid* checkpoints survive, corrupt files inside the keep window are
+// left alone (they are evidence, and removing them buys nothing), and
+// everything older than the K-th valid file goes.
+func TestGCCheckpointsKeepsNewestValid(t *testing.T) {
+	dir := t.TempDir()
+	write := func(nextIter, epoch int) string {
+		ck := &Checkpoint{
+			Universe: 2, Epoch: epoch, NextIter: nextIter, Members: []int{0, 1},
+			Weights:  []float32{1},
+			Velocity: []float32{2},
+			Cursors:  map[int]uint64{0: uint64(nextIter), 1: uint64(nextIter)},
+		}
+		p, err := ck.WriteFile(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return filepath.Base(p)
+	}
+	oldest := write(1, 0)
+	older := write(2, 0)
+	mid := write(3, 0)
+	corruptName := write(4, 0)
+	newest := write(5, 0)
+	// Corrupt the second-newest in place: it sits inside the keep window.
+	path := filepath.Join(dir, corruptName)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := GCCheckpoints(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	left := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		left[e.Name()] = true
+	}
+	for _, want := range []string{newest, corruptName, mid} {
+		if !left[want] {
+			t.Errorf("GC removed %s, want it kept", want)
+		}
+	}
+	for _, gone := range []string{older, oldest} {
+		if left[gone] {
+			t.Errorf("GC kept %s, want it pruned", gone)
+		}
+	}
+
+	// keep <= 0 disables pruning entirely.
+	if err := GCCheckpoints(dir, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(left) {
+		t.Errorf("GC with keep=0 changed the directory (%d -> %d files)", len(left), len(after))
+	}
+}

@@ -124,9 +124,21 @@ type Options struct {
 	// CheckpointEvery writes a periodic checkpoint every that many
 	// iterations (0 = only after recoveries, on Stop, and at completion).
 	CheckpointEvery int
+	// CheckpointKeep prunes CheckpointDir to the newest this-many valid
+	// checkpoints after each write (see GCCheckpoints). 0 means the
+	// default of 3; negative disables pruning.
+	CheckpointKeep int
 	// Resume makes RunElastic restore the newest valid checkpoint in
 	// CheckpointDir before training (fresh start if none exists).
 	Resume bool
+	// Join lets RunElasticTCP re-admit evicted workers: when a node is
+	// declared dead, a replacement for the same id is started, loads the
+	// newest valid checkpoint, and rejoins the ring at the next epoch
+	// boundary with its state synchronized from a surviving member.
+	Join bool
+	// CoordAddr is RunElasticTCP's control-channel listen address
+	// (host:port). Empty binds an ephemeral localhost port.
+	CoordAddr string
 	// Stop, when non-nil, drains RunElastic gracefully once closed: the
 	// workers agree on a common halt iteration, write a final checkpoint,
 	// and the run returns ErrInterrupted.
@@ -274,6 +286,18 @@ func (o Options) gradTos() uint8 {
 		return comm.ToSCompress
 	}
 	return 0
+}
+
+// checkpointKeep resolves Options.CheckpointKeep: 0 means the default of
+// 3, negative disables pruning (GCCheckpoints treats 0 as "keep all").
+func (o Options) checkpointKeep() int {
+	switch {
+	case o.CheckpointKeep == 0:
+		return 3
+	case o.CheckpointKeep < 0:
+		return 0
+	}
+	return o.CheckpointKeep
 }
 
 // finalizer returns the owner-block finalizer for the ring exchange: with
