@@ -2,7 +2,7 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench3 bench4 bench5 benchsmoke chaostest ckptsmoke obssmoke elastictest ci
+.PHONY: build test vet race fuzz bench bench3 bench4 bench5 bench7 benchsmoke chaostest ckptsmoke obssmoke simtest elastictest ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
@@ -106,6 +106,19 @@ obssmoke:
 	$(GO) run ./cmd/inctrace blame -min-gap 2ms bench/obssmoke_merged.jsonl | grep -q 'gating: node 1'
 	$(GO) test ./internal/obs -run 'TestCollectorLiveEndpoints' -count=1
 
+# Simulator/collective correctness gate, under the race detector: the
+# closed-form network model, the event-driven simulator, and the MPI-style
+# collectives (including the switch all-reduce's bit-exactness-with-ring
+# and the uneven-partition regression suites) in one focused run.
+simtest:
+	$(GO) test -race ./internal/netsim ./internal/eventsim ./internal/mpi
+
+# In-network switch aggregation report: closed-form WA vs ring vs switch
+# exchange times at 4/8/16 nodes. The run fails unless the switch beats
+# the worker aggregator's incast at every scale >= 8 nodes.
+bench7:
+	$(GO) run ./cmd/incbench -bench7 bench/BENCH_7.json
+
 # Elastic scale-out acceptance gate, under the race detector: a 4-node
 # TCP ring loses a worker to a chaos crash, the replacement rejoins from
 # the newest checkpoint and the post-join trail resumes bit-identically;
@@ -115,4 +128,4 @@ obssmoke:
 elastictest:
 	$(GO) test ./internal/train -run 'TestElasticTCPJoin|TestElasticTCPPartitionHeal|TestGCCheckpointsKeepsNewestValid' -count=1 -race -timeout 20m
 
-ci: vet chaostest ckptsmoke obssmoke elastictest race benchsmoke
+ci: vet simtest chaostest ckptsmoke obssmoke elastictest race benchsmoke

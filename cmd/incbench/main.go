@@ -6,24 +6,31 @@
 //	incbench -list
 //	incbench -run fig12
 //	incbench -run all [-full] [-seed N]
-//	incbench -simtrace sim.jsonl [-sim-workers 4] [-sim-straggle 2:5ms]
+//	incbench -strategy switch
+//	incbench -simtrace sim.jsonl [-sim-strategy ring|switch] [-sim-workers 4] [-sim-straggle 2:5ms]
+//	incbench -bench7 bench/BENCH_7.json
 //
-// The -simtrace mode writes a fluid-flow-simulated ring exchange as a
-// span trace in the same schema a real run emits, so `inctrace blame`
-// and `inctrace calibrate -measured run.jsonl -sim sim.jsonl` work on
-// it directly.
+// The -simtrace mode writes a fluid-flow-simulated gradient exchange
+// (ring, or the in-network switch reduction) as a span trace in the same
+// schema a real run emits, so `inctrace blame` and `inctrace calibrate
+// -measured run.jsonl -sim sim.jsonl` work on it directly. The -bench7
+// mode emits switch-vs-ring-vs-WA exchange times at 4/8/16 nodes, gated
+// on the switch beating the worker-aggregator incast at >= 8 nodes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
 	"inceptionn/internal/eventsim"
 	"inceptionn/internal/experiments"
+	"inceptionn/internal/models"
 	"inceptionn/internal/netsim"
 	"inceptionn/internal/obs"
 )
@@ -53,13 +60,26 @@ func parseSimStraggle(spec string, workers int) ([]float64, error) {
 	return delays, nil
 }
 
-// runSimTrace simulates -sim-iters ring all-reduce iterations with the
-// fluid-flow event simulator and writes the spans as trace JSONL.
-func runSimTrace(out string, workers, iters int, bytes int64, compute float64, straggle string) error {
-	if workers < 2 {
-		return fmt.Errorf("-sim-workers must be >= 2, got %d", workers)
+// simTraceConfig carries the -sim-* knobs of the -simtrace mode.
+type simTraceConfig struct {
+	strategy   string // "ring" or "switch"
+	workers    int
+	iters      int
+	bytes      int64
+	compute    float64
+	straggle   string
+	switchMem  int64   // switch strategy: on-switch buffer bytes
+	switchRate float64 // switch strategy: combine bytes/s (0 = line rate)
+}
+
+// runSimTrace simulates -sim-iters gradient exchanges of the selected
+// strategy with the fluid-flow event simulator and writes the spans as
+// trace JSONL.
+func runSimTrace(out string, c simTraceConfig) error {
+	if c.workers < 2 {
+		return fmt.Errorf("-sim-workers must be >= 2, got %d", c.workers)
 	}
-	delays, err := parseSimStraggle(straggle, workers)
+	delays, err := parseSimStraggle(c.straggle, c.workers)
 	if err != nil {
 		return err
 	}
@@ -69,16 +89,33 @@ func runSimTrace(out string, workers, iters int, bytes int64, compute float64, s
 		StreamCap: np.StreamEfficiency * np.LineRate,
 		Latency:   np.Latency,
 	}
-	blockBytes := float64(bytes) / float64(workers)
-	sumDelayPerStep := blockBytes / np.SumRate
 
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer(1 << 18)
 	rec := obs.NewRecorder(reg, tr)
 	var baseNs int64
 	totalSec := 0.0
-	for iter := 0; iter < iters; iter++ {
-		dur := eventsim.RingTraceDelays(p, workers, blockBytes, sumDelayPerStep, compute, delays, rec, iter, baseNs)
+	for iter := 0; iter < c.iters; iter++ {
+		var dur float64
+		switch c.strategy {
+		case "ring":
+			blockBytes := float64(netsim.RingBlockBytes(c.bytes, c.workers))
+			dur = eventsim.RingTraceDelays(p, c.workers, blockBytes, blockBytes/np.SumRate,
+				c.compute, delays, rec, iter, baseNs)
+		case "switch":
+			mem := c.switchMem
+			if mem <= 0 {
+				mem = 1 << 20
+			}
+			rate := c.switchRate
+			if rate <= 0 {
+				rate = np.LineRate
+			}
+			dur = eventsim.SwitchTraceDelays(p, c.workers, float64(c.bytes), float64(mem),
+				1/rate, c.compute, delays, rec, iter, baseNs)
+		default:
+			return fmt.Errorf("unknown -sim-strategy %q (want ring or switch)", c.strategy)
+		}
 		baseNs += int64(dur * 1e9)
 		totalSec += dur
 	}
@@ -95,9 +132,80 @@ func runSimTrace(out string, workers, iters int, bytes int64, compute float64, s
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("simtrace: %d workers x %d iters (%d B gradients) -> %s (%d spans, %.3fs simulated)\n",
-		workers, iters, bytes, out, len(tr.Snapshot()), totalSec)
-	fmt.Printf("  analyse: inctrace blame %s | inctrace calibrate -measured run.jsonl -sim %s\n", out, out)
+	fmt.Printf("simtrace: %s, %d workers x %d iters (%d B gradients) -> %s (%d spans, %.3fs simulated)\n",
+		c.strategy, c.workers, c.iters, c.bytes, out, len(tr.Snapshot()), totalSec)
+	blameHint := ""
+	if c.strategy == "switch" {
+		blameHint = fmt.Sprintf(" -switch-node %d", c.workers)
+	}
+	fmt.Printf("  analyse: inctrace blame%s %s | inctrace calibrate -measured run.jsonl -sim %s\n",
+		blameHint, out, out)
+	return nil
+}
+
+// bench7Result is one strategy-vs-strategy exchange-time sample of
+// bench/BENCH_7.json.
+type bench7Result struct {
+	Nodes         int     `json:"nodes"`
+	WASeconds     float64 `json:"wa_seconds"`
+	RingSeconds   float64 `json:"ring_seconds"`
+	SwitchSeconds float64 `json:"switch_seconds"`
+	SwitchVsWA    float64 `json:"switch_vs_wa_speedup"`
+	SwitchVsRing  float64 `json:"switch_vs_ring_speedup"`
+}
+
+// runBench7 writes the PR 7 benchmark artifact: closed-form exchange
+// times of WA vs ring vs in-network switch at 4/8/16 simulated nodes on
+// AlexNet-scale gradients, gated on the switch beating the
+// worker-aggregator incast at >= 8 nodes.
+func runBench7(out string, modelBytes int64) error {
+	p := netsim.Default10GbE()
+	var results []bench7Result
+	failed := false
+	for _, nodes := range []int{4, 8, 16} {
+		wa := p.WorkerAggregator(nodes, modelBytes, netsim.Plain(modelBytes), netsim.Plain(modelBytes)).Total()
+		ring := p.Ring(nodes, modelBytes, netsim.Plain(netsim.RingBlockBytes(modelBytes, nodes))).Total()
+		sw := p.SwitchAllReduce(nodes, modelBytes, nil).Total()
+		results = append(results, bench7Result{
+			Nodes: nodes, WASeconds: wa, RingSeconds: ring, SwitchSeconds: sw,
+			SwitchVsWA: wa / sw, SwitchVsRing: ring / sw,
+		})
+		fmt.Printf("bench7: %2d nodes  wa=%.3fs ring=%.3fs switch=%.3fs (switch %.2fx vs wa)\n",
+			nodes, wa, ring, sw, wa/sw)
+		if nodes >= 8 && sw >= wa {
+			fmt.Fprintf(os.Stderr, "bench7: GATE FAILED at %d nodes: switch %.3fs >= wa %.3fs\n", nodes, sw, wa)
+			failed = true
+		}
+	}
+	doc := struct {
+		Bench      string         `json:"bench"`
+		ModelBytes int64          `json:"model_bytes"`
+		Gate       string         `json:"gate"`
+		Pass       bool           `json:"pass"`
+		Results    []bench7Result `json:"results"`
+	}{
+		Bench:      "switch-vs-wa-vs-ring exchange time (netsim closed form, 10GbE)",
+		ModelBytes: modelBytes,
+		Gate:       "switch beats worker-aggregator incast at >= 8 nodes",
+		Pass:       !failed,
+		Results:    results,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench7: wrote %s\n", out)
+	if failed {
+		return fmt.Errorf("switch strategy did not beat WA at >= 8 nodes")
+	}
 	return nil
 }
 
@@ -107,16 +215,54 @@ func main() {
 	full := flag.Bool("full", false, "full-scale training runs (slower, closer to the paper)")
 	seed := flag.Int64("seed", 42, "deterministic seed for all experiments")
 	selftest := flag.Bool("selftest", false, "run cross-component consistency checks and exit")
-	simtrace := flag.String("simtrace", "", "write a simulated ring-exchange span trace (JSONL) to this file and exit")
-	simWorkers := flag.Int("sim-workers", 4, "simtrace: ring size")
+	simtrace := flag.String("simtrace", "", "write a simulated gradient-exchange span trace (JSONL) to this file and exit")
+	simStrategy := flag.String("sim-strategy", "ring", "simtrace: exchange strategy (ring or switch)")
+	simWorkers := flag.Int("sim-workers", 4, "simtrace: worker count")
 	simIters := flag.Int("sim-iters", 10, "simtrace: iterations to simulate")
 	simBytes := flag.Int64("sim-bytes", 4<<20, "simtrace: gradient bytes per node per iteration")
 	simCompute := flag.Float64("sim-compute", 2e-3, "simtrace: per-node compute seconds per iteration")
 	simStraggle := flag.String("sim-straggle", "", "simtrace: extra compute per node, e.g. '2:5ms' or '1:2ms,3:1ms'")
+	simSwitchMem := flag.Int64("sim-switch-mem", 1<<20, "simtrace switch: on-switch aggregation buffer bytes")
+	simSwitchRate := flag.Float64("sim-switch-rate", 0, "simtrace switch: combine throughput bytes/s (0 = line rate)")
+	strategy := flag.String("strategy", "", "shorthand for -run switch etc: print one strategy comparison (e.g. 'switch')")
+	bench7 := flag.String("bench7", "", "write switch-vs-ring-vs-WA exchange benchmarks (JSON) to this file and exit")
+	bench7Bytes := flag.Int64("bench7-bytes", 0, "bench7: gradient bytes (0 = AlexNet's 233 MB)")
 	flag.Parse()
 
 	if *simtrace != "" {
-		if err := runSimTrace(*simtrace, *simWorkers, *simIters, *simBytes, *simCompute, *simStraggle); err != nil {
+		err := runSimTrace(*simtrace, simTraceConfig{
+			strategy: *simStrategy, workers: *simWorkers, iters: *simIters,
+			bytes: *simBytes, compute: *simCompute, straggle: *simStraggle,
+			switchMem: *simSwitchMem, switchRate: *simSwitchRate,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bench7 != "" {
+		bytes := *bench7Bytes
+		if bytes <= 0 {
+			bytes = models.AlexNet.ParamBytes
+		}
+		if err := runBench7(*bench7, bytes); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *strategy != "" {
+		// -strategy NAME runs the matching comparison experiment (today:
+		// the in-network switch strategy).
+		e, ok := experiments.Lookup(*strategy)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "incbench: unknown strategy %q; -list shows options\n", *strategy)
+			os.Exit(2)
+		}
+		if err := e.Run(os.Stdout, experiments.Options{Quick: !*full, Seed: *seed}); err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}

@@ -11,6 +11,8 @@
 //	inctrace blame merged.jsonl               # critical-path attribution:
 //	                                          # gating node, blame matrix,
 //	                                          # straggler report
+//	inctrace blame -switch-node 4 sim.jsonl   # same, labelling the in-network
+//	                                          # aggregation switch when it gates
 //	inctrace calibrate -measured run.jsonl -sim sim.jsonl
 //	                                          # per-phase sim-vs-measured
 //	                                          # relative error table
@@ -237,9 +239,10 @@ func cmdBlame(args []string) {
 	fs := flag.NewFlagSet("blame", flag.ExitOnError)
 	addr := fs.String("addr", "", "scrape a live endpoint instead of (or in addition to) trace files")
 	minGap := fs.Duration("min-gap", 100*time.Microsecond, "iterations with max-min recv wait under this are balanced, not attributed")
+	switchNode := fs.Int("switch-node", -1, "node id of the in-network aggregation switch, labelled \"(switch)\" when it gates (switch sim traces use id == workers)")
 	fs.Parse(args)
 	if *addr == "" && fs.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: inctrace blame [-min-gap 100us] (merged.jsonl... | -addr host:port)")
+		fmt.Fprintln(os.Stderr, "usage: inctrace blame [-min-gap 100us] [-switch-node N] (merged.jsonl... | -addr host:port)")
 		os.Exit(2)
 	}
 	m, err := gather(*addr, fs.Args())
@@ -252,7 +255,11 @@ func cmdBlame(args []string) {
 	r := obs.AttributeCriticalPath(m.Spans, *minGap)
 	r.RenderBlame(os.Stdout)
 	if node, share := r.Gating(); node >= 0 {
-		fmt.Printf("gating: node %d (%.0f%% of attributed iterations)\n", node, 100*share)
+		label := ""
+		if *switchNode >= 0 && node == *switchNode {
+			label = " (switch)"
+		}
+		fmt.Printf("gating: node %d%s (%.0f%% of attributed iterations)\n", node, label, 100*share)
 	} else {
 		fmt.Println("gating: none")
 	}

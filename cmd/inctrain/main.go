@@ -6,6 +6,8 @@
 //
 //	inctrain -model hdc-small -workers 4 -algo ring -iters 300 -compress -bound 10
 //	inctrain -algo ring2 -workers 8 -group 4         # Fig. 1c hierarchy
+//	inctrain -algo switch -workers 8 -switch-chunk 256
+//	                                                 # in-network switch aggregation
 //	inctrain -tcp -compress                          # real loopback TCP sockets
 //	inctrain -elastic -tcp -join -checkpoint-dir ck -suspect-after 2s
 //	                                                 # elastic ring over TCP with auto-rejoin
@@ -95,8 +97,9 @@ func parseStragglerSpec(spec string) (map[int]time.Duration, error) {
 func main() {
 	model := flag.String("model", "hdc-small", "trainable model: hdc, hdc-small, mini-alexnet, mini-vgg, mini-resnet")
 	workers := flag.Int("workers", 4, "number of worker nodes")
-	algo := flag.String("algo", "ring", "distributed algorithm: ring, wa, tree2 (Fig 1b), ring2 (Fig 1c)")
+	algo := flag.String("algo", "ring", "distributed algorithm: ring, wa, tree2 (Fig 1b), ring2 (Fig 1c), switch (in-network aggregation)")
 	groupSize := flag.Int("group", 4, "group size for the hierarchical algorithms")
+	switchChunk := flag.Int("switch-chunk", 0, "switch algorithm: floats per streamed chunk (0 = whole gradient; models bounded switch memory)")
 	iters := flag.Int("iters", 300, "training iterations")
 	batch := flag.Int("batch", 16, "per-node batch size")
 	lr := flag.Float64("lr", 0.02, "base learning rate")
@@ -163,6 +166,9 @@ func main() {
 	case "ring2":
 		o.Algo = train.HierarchicalRing
 		o.GroupSize = *groupSize
+	case "switch":
+		o.Algo = train.SwitchReduce
+		o.SwitchChunk = *switchChunk
 	default:
 		fmt.Fprintf(os.Stderr, "inctrain: unknown algorithm %q\n", *algo)
 		os.Exit(2)

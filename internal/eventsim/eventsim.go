@@ -54,9 +54,10 @@ type Sim struct {
 
 	// Observability (optional): flows emit virtual-time send spans and
 	// event counters through rec, in the same schema as measured runs.
-	rec    *obs.Recorder
-	iter   int
-	baseNs int64 // trace-timeline shift applied to emitted spans
+	rec      *obs.Recorder
+	iter     int
+	baseNs   int64 // trace-timeline shift applied to emitted spans
+	spanNode []int // optional sim-node → trace-node remap for emitted spans
 }
 
 // SetObs attaches a recorder: every flow with payload emits a
@@ -68,8 +69,20 @@ func (s *Sim) SetObs(rec *obs.Recorder, iter int) {
 	s.iter = iter
 }
 
-// secNs converts simulator virtual seconds to span nanoseconds.
-func secNs(sec float64) int64 { return int64(sec * 1e9) }
+// secNs converts simulator virtual seconds to span nanoseconds, rounding
+// to the nearest nanosecond. Truncation toward zero would leave every
+// emitted span a nanosecond short of the float timeline whenever sec*1e9
+// lands below the representable integer, drifting sim spans against the
+// flow done-times obs.Calibrate diffs them with.
+func secNs(sec float64) int64 { return int64(math.Round(sec * 1e9)) }
+
+// traceNode maps a sim node index to the node id recorded on spans.
+func (s *Sim) traceNode(n int) int {
+	if s.spanNode != nil {
+		return s.spanNode[n]
+	}
+	return n
+}
 
 // Timing returns a flow's resolved activation and delivery times. Valid
 // after Run.
@@ -221,7 +234,13 @@ func (s *Sim) Run() []float64 {
 		if f.bytes > 0 {
 			// Virtual-time send span: activation to transfer end (delivery
 			// minus the propagation leg), attributed to the source node.
-			s.rec.RecordRaw(f.src, s.iter, obs.PhaseSend, s.baseNs+secNs(f.ready), secNs(f.done-s.p.Latency-f.ready))
+			// Start and end are rounded independently so the span's end
+			// lands exactly on secNs(done − latency) — rounding a
+			// separately-computed duration could leave it a nanosecond off
+			// the flow's done-time.
+			start := secNs(f.ready)
+			end := secNs(f.done - s.p.Latency)
+			s.rec.RecordRaw(s.traceNode(f.src), s.iter, obs.PhaseSend, s.baseNs+start, end-start)
 		}
 	}
 	if !allDone {
@@ -421,6 +440,111 @@ func WorkerAggregatorTime(p Params, workers int, gradBytes, weightBytes, sumDela
 		}
 	}
 	return last
+}
+
+// switchDAG builds the in-network switch all-reduce flow DAG on s, which
+// must span 2*workers nodes: workers 0..p−1 and their dedicated switch
+// ports p..2p−1 (dedicated node pairs model a non-blocking switch fabric —
+// aggregation happens at the port, so no link is ever shared by two
+// workers' streams, unlike the worker-aggregator incast). Per chunk k:
+// every worker uploads chunk k to its port (serialized per worker by a
+// dependency on its previous upload), a zero-byte combine token —
+// depending on all of chunk k's uploads and on the previous token —
+// serializes the switch's reduction unit and carries the combine time as
+// its delay, and each port multicasts the combined chunk back down once
+// the token fires. nodeDelay stalls each worker's first upload.
+//
+// The token is a flow, so its completion charges one propagation hop per
+// chunk; a combine-bound switch is thereby overstated by Latency per
+// chunk (sub-percent at realistic chunk sizes, and the throttled-switch
+// behaviour the blame tooling keys on is unaffected).
+//
+// Returns the per-chunk upload flows, combine tokens, and download flows.
+func switchDAG(s *Sim, workers int, chunkSizes []float64, combinePerByte float64, nodeDelay []float64) (up, down [][]FlowID, combine []FlowID) {
+	up = make([][]FlowID, len(chunkSizes))
+	down = make([][]FlowID, len(chunkSizes))
+	combine = make([]FlowID, len(chunkSizes))
+	prevUp := make([]FlowID, workers)
+	for w := range prevUp {
+		prevUp[w] = -1
+	}
+	prevTok := FlowID(-1)
+	for k, bytes := range chunkSizes {
+		up[k] = make([]FlowID, workers)
+		for w := 0; w < workers; w++ {
+			var deps []FlowID
+			delay := 0.0
+			if prevUp[w] >= 0 {
+				deps = append(deps, prevUp[w])
+			} else if w < len(nodeDelay) {
+				delay = nodeDelay[w]
+			}
+			up[k][w] = s.AddFlow(w, workers+w, bytes, deps, delay)
+			prevUp[w] = up[k][w]
+		}
+		tokDeps := append([]FlowID(nil), up[k]...)
+		if prevTok >= 0 {
+			tokDeps = append(tokDeps, prevTok)
+		}
+		combine[k] = s.AddFlow(workers, workers, 0, tokDeps, bytes*combinePerByte)
+		prevTok = combine[k]
+		down[k] = make([]FlowID, workers)
+		for w := 0; w < workers; w++ {
+			down[k][w] = s.AddFlow(workers+w, w, bytes, []FlowID{combine[k]}, 0)
+		}
+	}
+	return up, down, combine
+}
+
+// switchChunks splits modelBytes into chunkBytes-sized pieces (the
+// on-switch buffer bound), the last one possibly smaller.
+func switchChunks(modelBytes, chunkBytes float64) []float64 {
+	if chunkBytes <= 0 || chunkBytes > modelBytes {
+		chunkBytes = modelBytes
+	}
+	var sizes []float64
+	for rem := modelBytes; rem > 0; rem -= chunkBytes {
+		c := chunkBytes
+		if rem < chunkBytes {
+			c = rem
+		}
+		sizes = append(sizes, c)
+	}
+	return sizes
+}
+
+// SwitchTimeDelays builds and runs the in-network switch all-reduce DAG:
+// p workers stream a modelBytes gradient through the switch's reduction
+// unit in chunkBytes chunks, the combine of each chunk costs its bytes ×
+// combinePerByte seconds (serialized across chunks), and combined chunks
+// multicast back down every port. nodeDelay adds per-worker straggler
+// delay before the first upload. Returns the time the last worker holds
+// the fully combined gradient.
+func SwitchTimeDelays(p Params, workers int, modelBytes, chunkBytes, combinePerByte float64, nodeDelay []float64) float64 {
+	if workers < 1 || modelBytes <= 0 {
+		return 0
+	}
+	s := New(p, 2*workers)
+	_, down, _ := switchDAG(s, workers, switchChunks(modelBytes, chunkBytes), combinePerByte, nodeDelay)
+	times := s.Run()
+	// Downloads of different chunks overlap on the downlinks (down_k only
+	// waits for combine_k), so a large chunk's multicast can outlive the
+	// small tail chunk's — the exchange ends when the last of ALL chunks
+	// lands, not the last-indexed one.
+	var last float64
+	for _, chunk := range down {
+		for _, id := range chunk {
+			if times[id] > last {
+				last = times[id]
+			}
+		}
+	}
+	return last
+}
+
+// SwitchTime is SwitchTimeDelays without stragglers.
+func SwitchTime(p Params, workers int, modelBytes, chunkBytes, combinePerByte float64) float64 {
+	return SwitchTimeDelays(p, workers, modelBytes, chunkBytes, combinePerByte, nil)
 }
 
 // RingTime builds and runs the ring exchange DAG: 2(p−1) steps; in step s

@@ -19,6 +19,92 @@ import (
 // the trace timeline, so consecutive iterations chain instead of
 // overlapping at virtual t=0. Returns the exchange finish time in
 // virtual seconds (relative to the iteration start, excluding baseNs).
+// SwitchTraceDelays runs the in-network switch all-reduce DAG of
+// SwitchTimeDelays and emits the measured-run span schema on the
+// simulator's virtual timeline: compute/send/recv spans for each worker,
+// and send (multicast down), recv (wait for the next chunk's uploads) and
+// reduce (combine engine busy) spans for the switch, which appears in the
+// trace as one logical node with id == workers (its per-port sim nodes
+// are remapped onto it). A throttled combine engine therefore shows up in
+// `inctrace blame` exactly like a straggler worker: the switch's recv
+// waits collapse toward zero while every worker piles up wait on the
+// downlink, and its reduce spans carry the gating time. Returns the
+// exchange finish time in virtual seconds (relative to iteration start).
+func SwitchTraceDelays(p Params, workers int, modelBytes, chunkBytes, combinePerByte, computeTime float64, nodeDelay []float64, rec *obs.Recorder, iter int, baseNs int64) float64 {
+	if workers < 1 || modelBytes <= 0 {
+		return 0
+	}
+	s := New(p, 2*workers)
+	s.SetObs(rec, iter)
+	s.baseNs = baseNs
+	// Collapse the per-port sim nodes onto one logical switch node.
+	s.spanNode = make([]int, 2*workers)
+	for n := range s.spanNode {
+		s.spanNode[n] = n
+		if n >= workers {
+			s.spanNode[n] = workers
+		}
+	}
+
+	delays := make([]float64, workers)
+	for node := 0; node < workers; node++ {
+		delays[node] = computeTime
+		if node < len(nodeDelay) {
+			delays[node] += nodeDelay[node]
+		}
+		rec.RecordRaw(node, iter, obs.PhaseCompute, baseNs, secNs(delays[node]))
+	}
+
+	sizes := switchChunks(modelBytes, chunkBytes)
+	up, down, combine := switchDAG(s, workers, sizes, combinePerByte, delays)
+	times := s.Run()
+
+	last := 0.0
+	prevCombineReady := 0.0
+	for k := range sizes {
+		// Switch recv: wait from the end of the previous combine until the
+		// last of this chunk's uploads lands (zero when the combine engine
+		// is the bottleneck — the straggler-inversion signal blame keys on).
+		arrived := 0.0
+		for w := 0; w < workers; w++ {
+			if t := times[up[k][w]]; t > arrived {
+				arrived = t
+			}
+		}
+		wait := arrived - prevCombineReady
+		start := prevCombineReady
+		if wait < 0 {
+			wait = 0
+			start = arrived
+		}
+		rec.RecordRaw(workers, iter, obs.PhaseRecv, baseNs+secNs(start), secNs(start+wait)-secNs(start))
+
+		// Switch reduce: the combine token's ready time is dep-arrival plus
+		// the combine delay, so the engine was busy over [ready−s, ready].
+		ready, _ := s.Timing(combine[k])
+		sum := sizes[k] * combinePerByte
+		rec.RecordRaw(workers, iter, obs.PhaseReduce, baseNs+secNs(ready-sum), secNs(ready)-secNs(ready-sum))
+		prevCombineReady = ready
+
+		// Worker recv: wait from the end of a worker's own chunk upload
+		// until the combined chunk arrives back (ring convention).
+		for w := 0; w < workers; w++ {
+			ownEnd := times[up[k][w]] - p.Latency
+			delivery := times[down[k][w]]
+			wait := delivery - ownEnd
+			if wait < 0 {
+				wait = 0
+				ownEnd = delivery
+			}
+			rec.RecordRaw(w, iter, obs.PhaseRecv, baseNs+secNs(ownEnd), secNs(wait))
+			if delivery > last {
+				last = delivery
+			}
+		}
+	}
+	return last
+}
+
 func RingTraceDelays(p Params, workers int, blockBytes, sumDelayPerStep, computeTime float64, nodeDelay []float64, rec *obs.Recorder, iter int, baseNs int64) float64 {
 	if workers < 2 {
 		return 0

@@ -63,6 +63,7 @@ func Registry() []Experiment {
 		{"fig14", "Compression ratio and accuracy impact (Fig. 14)", Fig14},
 		{"table3", "Bitwidth distribution of compressed gradients (Table III)", Table3},
 		{"fig15", "Scalability of the gradient exchange (Fig. 15)", Fig15},
+		{"switch", "In-network switch aggregation vs WA/ring (NetReduce-style)", SwitchStrategy},
 		{"ablation", "Design-choice ablations (DESIGN.md §5)", Ablations},
 	}
 }

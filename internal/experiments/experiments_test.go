@@ -13,7 +13,7 @@ func quickOpts() Options {
 func TestRegistryComplete(t *testing.T) {
 	// Every table and figure of the paper's evaluation must be present.
 	want := []string{"fig3", "fig4", "fig5", "fig7", "table1", "table2",
-		"fig12", "fig13", "fig14", "table3", "fig15", "ablation"}
+		"fig12", "fig13", "fig14", "table3", "fig15", "switch", "ablation"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
@@ -131,6 +131,15 @@ func TestTable3Output(t *testing.T) {
 	for _, want := range []string{"2-bit", "34-bit", "paper", "measured"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestSwitchStrategyOutput(t *testing.T) {
+	out := runExperiment(t, "switch")
+	for _, want := range []string{"switch", "ring", "wa", "AlexNet", "throttled", "-switch-node"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("switch output missing %q", want)
 		}
 	}
 }

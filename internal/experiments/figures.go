@@ -13,6 +13,7 @@ import (
 	"inceptionn/internal/compress/truncate"
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/models"
+	"inceptionn/internal/netsim"
 	"inceptionn/internal/nic"
 	"inceptionn/internal/stats"
 	"inceptionn/internal/train"
@@ -236,6 +237,53 @@ func timeToAccuracy(w io.Writer, o Options) error {
 }
 
 // Fig15 prints the gradient-exchange time versus cluster size for both
+// SwitchStrategy compares the in-network switch reduction (NetReduce-style
+// per-port combine, arXiv:2009.09736) against the WA and ring exchanges,
+// with a Fig. 13/14-style per-phase breakdown: transfer vs summation vs
+// propagation on the critical path, per node count. A second table shows
+// the combine engine throttled to a tenth of line rate — the regime where
+// `inctrace blame` attributes the exchange to the switch itself.
+func SwitchStrategy(w io.Writer, o Options) error {
+	header(w, "In-network switch aggregation: exchange breakdown vs WA/ring")
+	for _, spec := range models.Evaluated() {
+		fmt.Fprintf(w, "  %s (%d MB)\n", spec.Name, spec.ParamBytes>>20)
+		fmt.Fprintf(w, "    %-6s %-8s %10s %10s %10s %10s\n",
+			"nodes", "strategy", "transfer", "sum", "latency", "total")
+		for _, nodes := range []int{4, 8, 16} {
+			cfg := trainsim.Default()
+			cfg.Workers = nodes
+			n := spec.ParamBytes
+			rows := []struct {
+				name string
+				ex   netsim.Exchange
+			}{
+				{"wa", cfg.Net.WorkerAggregator(nodes, n, netsim.Plain(n), netsim.Plain(n))},
+				{"ring", cfg.Net.Ring(nodes, n, netsim.Plain(netsim.RingBlockBytes(n, nodes)))},
+				{"switch", cfg.Net.SwitchAllReduce(nodes, n, nil)},
+			}
+			for _, r := range rows {
+				fmt.Fprintf(w, "    %-6d %-8s %9.3fs %9.3fs %9.6fs %9.3fs\n",
+					nodes, r.name, r.ex.Transfer, r.ex.Sum, r.ex.Latency, r.ex.Total())
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	header(w, "Throttled combine engine (SwitchSumRate = LineRate/10)")
+	spec := models.AlexNet
+	fmt.Fprintf(w, "  %s: switch exchange, combine-bound\n", spec.Name)
+	fmt.Fprintf(w, "    %-6s %10s %10s %10s\n", "nodes", "transfer", "sum", "total")
+	for _, nodes := range []int{4, 8, 16} {
+		p := netsim.Default10GbE()
+		p.SwitchSumRate = p.LineRate / 10
+		ex := p.SwitchAllReduce(nodes, spec.ParamBytes, nil)
+		fmt.Fprintf(w, "    %-6d %9.3fs %9.3fs %9.3fs\n", nodes, ex.Transfer, ex.Sum, ex.Total())
+	}
+	fmt.Fprintln(w, "\n  (blame a throttled run: incbench -simtrace sim.jsonl -sim-strategy switch \\")
+	fmt.Fprintln(w, "     -sim-switch-rate 125e6 && inctrace blame -switch-node 4 sim.jsonl)")
+	return nil
+}
+
 // algorithms (paper Fig. 15), plus the α-β-γ analytic model's prediction.
 func Fig15(w io.Writer, o Options) error {
 	header(w, "Fig. 15: gradient exchange time vs number of nodes (normalized to 4-node WA)")

@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"context"
+	"fmt"
+)
+
+// In-network switch all-reduce (NetReduce-style, arXiv:2009.09736): one
+// communicator rank plays the programmable switch's reduction unit, every
+// other rank streams its gradient up in chunks sized to the on-switch
+// aggregation buffer, the switch combines each chunk as it lands, and
+// multicasts the combined chunk back down all ports. Workers drive
+// AllReduceSwitchCtx; the switch rank runs SwitchServeCtx concurrently.
+//
+// The combine is bit-exact with the ring collective: for every ring block
+// b (same contiguous partition the ring uses, over the worker count), the
+// switch accumulates worker contributions in the rotated order b, b+1, …,
+// (b+p−1) mod p — exactly the left-associated order in which ring rank b's
+// block is summed as it travels the ring — so an IEEE float32 sum lands on
+// identical bits and a switch-trained replica matches a ring-trained one.
+
+// Tag bases for the switch collective; chunk sequence asserted mod
+// switchTagMod (streams are ordered per link, tags are protocol checks).
+const (
+	tagSwitchUp   = 7400
+	tagSwitchDown = 7500
+	switchTagMod  = 64
+)
+
+// SwitchOptions tunes the switch collective.
+type SwitchOptions struct {
+	// ChunkFloats bounds how many float32s stream through the switch per
+	// chunk, modelling the on-switch aggregation memory (netsim's
+	// SwitchMemBytes / 4). 0 sends the whole vector as one chunk.
+	ChunkFloats int
+}
+
+func (o SwitchOptions) chunk(n int) int {
+	if o.ChunkFloats <= 0 || o.ChunkFloats > n {
+		return n
+	}
+	return o.ChunkFloats
+}
+
+// AllReduceSwitch is AllReduceSwitchCtx with the legacy panic-on-failure
+// contract.
+func (c *Comm) AllReduceSwitch(vec []float32, sw int, opt SwitchOptions) {
+	if err := c.AllReduceSwitchCtx(context.Background(), vec, sw, opt); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AllReduceSwitchCtx sums vec elementwise across all worker ranks, in
+// place, through the switch at rank sw (which must concurrently run
+// SwitchServeCtx with the same options and vector length). Each chunk is
+// one deadline-bounded upload followed by one deadline-bounded receive of
+// the combined result, so stragglers and partitions surface exactly as in
+// the ring collective.
+func (c *Comm) AllReduceSwitchCtx(ctx context.Context, vec []float32, sw int, opt SwitchOptions) error {
+	if sw < 0 || sw >= c.Size() {
+		return fmt.Errorf("mpi: switch rank %d outside [0,%d)", sw, c.Size())
+	}
+	if c.rank == sw {
+		return fmt.Errorf("mpi: rank %d is the switch; run SwitchServeCtx instead", c.rank)
+	}
+	chunk := opt.chunk(len(vec))
+	for k, lo := 0, 0; lo < len(vec); k, lo = k+1, lo+chunk {
+		hi := lo + chunk
+		if hi > len(vec) {
+			hi = len(vec)
+		}
+		if err := c.sendStep(ctx, sw, vec[lo:hi], c.tos, tagSwitchUp+k%switchTagMod); err != nil {
+			return err
+		}
+		rb, err := c.recvStep(ctx, sw, tagSwitchDown+k%switchTagMod)
+		if err != nil {
+			return err
+		}
+		if len(rb) != hi-lo {
+			return fmt.Errorf("mpi: switch returned %d floats for a %d-float chunk", len(rb), hi-lo)
+		}
+		copy(vec[lo:hi], rb)
+	}
+	return nil
+}
+
+// SwitchServeCtx runs the switch's reduction unit for one all-reduce over
+// a gradLen-float vector: every rank except this one is a worker port, in
+// rank order. Per chunk it receives all ports' contributions, combines
+// them per ring block in the rotated port order (bit-exact with the ring
+// result), applies the communicator finalize to the combined chunk, and
+// multicasts it back down every port.
+func (c *Comm) SwitchServeCtx(ctx context.Context, gradLen int, opt SwitchOptions) error {
+	p := c.Size() - 1
+	if p < 1 {
+		return nil
+	}
+	workers := make([]int, 0, p)
+	for r := 0; r < c.Size(); r++ {
+		if r != c.rank {
+			workers = append(workers, r)
+		}
+	}
+	chunk := opt.chunk(gradLen)
+	ports := make([][]float32, p)
+	out := make([]float32, chunk)
+	for k, lo := 0, 0; lo < gradLen; k, lo = k+1, lo+chunk {
+		hi := lo + chunk
+		if hi > gradLen {
+			hi = gradLen
+		}
+		for wi, r := range workers {
+			rb, err := c.recvStep(ctx, r, tagSwitchUp+k%switchTagMod)
+			if err != nil {
+				return err
+			}
+			if len(rb) != hi-lo {
+				return fmt.Errorf("mpi: port %d sent %d floats for a %d-float chunk", r, len(rb), hi-lo)
+			}
+			ports[wi] = rb
+		}
+		combined := out[:hi-lo]
+		// Combine per ring block: scatterBounds partitions the full
+		// gradient into p blocks exactly as the ring does; within block b
+		// the accumulation starts at port b and walks the ports in rotated
+		// order, matching the ring's left-associated summation bit for bit.
+		for b := 0; b < p; b++ {
+			blo, bhi := scatterBounds(gradLen, p, b)
+			if blo < lo {
+				blo = lo
+			}
+			if bhi > hi {
+				bhi = hi
+			}
+			if blo >= bhi {
+				continue
+			}
+			seg := combined[blo-lo : bhi-lo]
+			for j := 0; j < p; j++ {
+				src := ports[(b+j)%p][blo-lo : bhi-lo]
+				if j == 0 {
+					copy(seg, src)
+					continue
+				}
+				for i, v := range src {
+					seg[i] += v
+				}
+			}
+		}
+		if c.finalize != nil {
+			c.finalize(combined)
+		}
+		for _, r := range workers {
+			if err := c.sendStep(ctx, r, combined, c.tos, tagSwitchDown+k%switchTagMod); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -37,6 +37,18 @@ type Params struct {
 	PerPacketTime    float64 // driver+stack seconds per packet per stream
 	Latency          float64 // propagation + switch latency per hop (s)
 	SumRate          float64 // gradient summation, bytes/s
+
+	// SwitchSumRate is the per-port combine throughput of the switch's
+	// in-network reduction unit (bytes/s). The ports' combiners run in
+	// parallel into banked accumulators, so a chunk's residency in the
+	// reduction pipeline is chunkBytes/SwitchSumRate regardless of port
+	// count. 0 defaults to LineRate (a NetReduce-style line-rate ASIC).
+	SwitchSumRate float64
+	// SwitchMemBytes bounds the switch's on-chip aggregation buffer:
+	// gradients larger than this stream through the switch in
+	// SwitchMemBytes-sized chunks (upload, combine, and multicast of
+	// consecutive chunks pipeline). 0 defaults to 1 MiB.
+	SwitchMemBytes int64
 }
 
 // Default10GbE returns parameters calibrated so that the simulated
@@ -51,7 +63,25 @@ func Default10GbE() Params {
 		PerPacketTime:    1.1e-6,
 		Latency:          30e-6,
 		SumRate:          8e9,
+		SwitchSumRate:    1.25e9,
+		SwitchMemBytes:   1 << 20,
 	}
+}
+
+// switchSumRate resolves the switch combine rate (0 = line rate).
+func (p Params) switchSumRate() float64 {
+	if p.SwitchSumRate > 0 {
+		return p.SwitchSumRate
+	}
+	return p.LineRate
+}
+
+// switchMemBytes resolves the on-switch buffer bound (0 = 1 MiB).
+func (p Params) switchMemBytes() int64 {
+	if p.SwitchMemBytes > 0 {
+		return p.SwitchMemBytes
+	}
+	return 1 << 20
 }
 
 // Validate reports whether the parameters are usable.
@@ -64,6 +94,9 @@ func (p Params) Validate() error {
 	}
 	if p.PerPacketTime < 0 || p.Latency < 0 {
 		return fmt.Errorf("netsim: negative overhead in %+v", p)
+	}
+	if p.SwitchSumRate < 0 || p.SwitchMemBytes < 0 {
+		return fmt.Errorf("netsim: negative switch parameter in %+v", p)
 	}
 	return nil
 }
@@ -149,6 +182,9 @@ func (e Exchange) Total() float64 { return e.Transfer + e.Sum + e.Latency }
 // the aggregator sums p vectors of modelBytes, then broadcasts the updated
 // weights (weightDown traffic each) from its single uplink.
 func (p Params) WorkerAggregator(workers int, modelBytes int64, gradUp, weightDown Traffic) Exchange {
+	if workers < 1 {
+		return Exchange{}
+	}
 	// Incast: p streams share the aggregator's downlink.
 	up := p.StreamTime(gradUp, workers)
 	// Aggregation of p vectors: (p-1) pairwise adds over modelBytes.
@@ -212,13 +248,87 @@ func (p Params) Ring(workers int, modelBytes int64, blockTraffic Traffic) Exchan
 	if workers < 2 {
 		return Exchange{}
 	}
-	blockBytes := modelBytes / int64(workers)
+	// Exact per-block sizing: when the model does not divide evenly, the
+	// block partition (internal/ring's blockBounds) gives the first
+	// modelBytes mod workers blocks one extra byte. Every reduce-scatter
+	// step sums the largest block somewhere on the ring, so the lockstep
+	// critical path carries ceil(modelBytes/workers) per step — truncating
+	// division would silently drop the remainder bytes from the summation
+	// term (and disagree with the blockTraffic the caller packetized).
 	step := p.StreamTime(blockTraffic, 1)
 	steps := float64(2 * (workers - 1))
-	sum := float64(workers-1) * p.SumTime(blockBytes)
+	sum := float64(workers-1) * p.SumTime(RingBlockBytes(modelBytes, workers))
 	return Exchange{
 		Transfer: steps * step,
 		Sum:      sum,
 		Latency:  steps * 2 * p.Latency, // each step crosses the switch
 	}
+}
+
+// RingBlockBytes returns the largest ring-block size of a modelBytes
+// gradient split across workers — ceil division, matching the byte
+// footprint of the partition the real collective uses (the first
+// modelBytes mod workers blocks carry one extra byte). It is the block
+// size on the lockstep critical path, and the size callers should
+// packetize as blockTraffic.
+func RingBlockBytes(modelBytes int64, workers int) int64 {
+	if workers < 1 {
+		return modelBytes
+	}
+	return (modelBytes + int64(workers) - 1) / int64(workers)
+}
+
+// SwitchAllReduce simulates one in-network all-reduce (NetReduce-style,
+// arXiv:2009.09736): every worker streams its modelBytes gradient up its
+// own dedicated switch port in chunks of at most SwitchMemBytes, the
+// switch's per-port reduction unit combines each chunk at SwitchSumRate,
+// and the combined chunk is multicast back down every port (each egress
+// port carries exactly one copy — no incast on either leg, which is what
+// distinguishes this from the worker-aggregator exchange). Consecutive
+// chunks pipeline through the upload/combine/multicast stages, so the
+// steady state runs at the slowest stage. traffic maps a chunk's raw
+// byte count to wire traffic (Plain, or NICCompressed for a compressing
+// NIC below the switch); nil means Plain.
+func (p Params) SwitchAllReduce(workers int, modelBytes int64, traffic func(int64) Traffic) Exchange {
+	if workers < 1 || modelBytes <= 0 {
+		return Exchange{}
+	}
+	if traffic == nil {
+		traffic = Plain
+	}
+	mem := p.switchMemBytes()
+	chunks := (modelBytes + mem - 1) / mem
+	tail := modelBytes - (chunks-1)*mem
+
+	stage := func(bytes int64) (u, s float64) {
+		return p.StreamTime(traffic(bytes), 1), float64(bytes) / p.switchSumRate()
+	}
+	uFull, sFull := stage(mem)
+	uTail, sTail := stage(tail)
+	if chunks == 1 {
+		uFull, sFull = uTail, sTail
+	}
+
+	// Fill-and-drain pipeline over the three stages (upload, combine,
+	// multicast; multicast time equals upload time — one stream per port
+	// in both directions): first chunk's upload, then chunks 2..K at the
+	// bottleneck stage, then the last chunk's combine and multicast.
+	ex := Exchange{
+		Transfer: uFull + uTail,
+		Sum:      sTail,
+		Latency:  2 * p.Latency, // one worker→switch→worker traversal
+	}
+	for k := int64(1); k < chunks; k++ {
+		u, s := uFull, sFull
+		if k == chunks-1 {
+			u, s = uTail, sTail
+		}
+		// Steady-state slot: attribute it to the stage that gates it.
+		if s >= u {
+			ex.Sum += s
+		} else {
+			ex.Transfer += u
+		}
+	}
+	return ex
 }

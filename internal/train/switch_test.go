@@ -1,0 +1,56 @@
+package train
+
+import (
+	"testing"
+
+	"inceptionn/internal/models"
+)
+
+// TestSwitchTrainingBitIdenticalToRing is the tentpole acceptance check at
+// the training level: because the switch's combine replays the ring's
+// per-block accumulation order, a SwitchReduce run must land on weights
+// bit-identical to a Ring run with the same seed and data — chunked or
+// not. (The model has 1.3k+ params, so a chunk of 500 exercises chunk
+// boundaries that slice ring blocks mid-stream.)
+func TestSwitchTrainingBitIdenticalToRing(t *testing.T) {
+	trainDS, testDS := digitsData()
+	o := digitsOptions()
+	ringRes, err := Run(models.NewHDCSmall, trainDS, testDS, 20, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{0, 500} {
+		o := digitsOptions()
+		o.Algo = SwitchReduce
+		o.SwitchChunk = chunk
+		swRes, err := Run(models.NewHDCSmall, trainDS, testDS, 20, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(swRes.FinalWeights) != len(ringRes.FinalWeights) {
+			t.Fatalf("chunk=%d: weight count %d vs ring %d", chunk, len(swRes.FinalWeights), len(ringRes.FinalWeights))
+		}
+		for i := range swRes.FinalWeights {
+			if swRes.FinalWeights[i] != ringRes.FinalWeights[i] {
+				t.Fatalf("chunk=%d: weight %d = %x, ring %x", chunk, i, swRes.FinalWeights[i], ringRes.FinalWeights[i])
+			}
+		}
+	}
+}
+
+func TestSwitchTrainingConverges(t *testing.T) {
+	trainDS, testDS := digitsData()
+	o := digitsOptions()
+	o.Algo = SwitchReduce
+	o.SwitchChunk = 256
+	res, err := Run(models.NewHDCSmall, trainDS, testDS, 150, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.9 {
+		t.Fatalf("switch training accuracy = %.3f, want > 0.9 (loss %.3f)", res.FinalAcc, res.FinalLoss)
+	}
+	if res.RawBytes == 0 || res.WireBytes == 0 {
+		t.Error("no traffic recorded")
+	}
+}

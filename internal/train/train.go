@@ -17,6 +17,7 @@ import (
 	"inceptionn/internal/data"
 	"inceptionn/internal/fault"
 	"inceptionn/internal/hierarchy"
+	"inceptionn/internal/mpi"
 	"inceptionn/internal/nn"
 	"inceptionn/internal/obs"
 	"inceptionn/internal/opt"
@@ -39,6 +40,10 @@ const (
 	// HierarchicalRing uses rings at every level of the hierarchy (paper
 	// Fig. 1c). Requires Options.GroupSize.
 	HierarchicalRing
+	// SwitchReduce aggregates in the network itself (NetReduce-style): a
+	// programmable-switch node combines gradient chunks in flight and
+	// multicasts the result, bit-exact with the ring collective.
+	SwitchReduce
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +55,8 @@ func (a Algorithm) String() string {
 		return "worker-aggregator"
 	case HierarchicalTree:
 		return "hierarchical-tree"
+	case SwitchReduce:
+		return "switch"
 	default:
 		return "hierarchical-ring"
 	}
@@ -101,6 +108,11 @@ type Options struct {
 	// codec and reduction overlap the next chunk's transport (see
 	// ring.Options.ChunkSize). 0 keeps whole-block steps.
 	ChunkSize int
+	// SwitchChunk bounds how many float32 values stream through the
+	// SwitchReduce switch per chunk, modelling the bounded on-switch
+	// aggregation memory (netsim.Params.SwitchMemBytes / 4). 0 streams the
+	// whole gradient as one chunk.
+	SwitchChunk int
 	// Chaos, if non-nil, injects deterministic transport faults (drops,
 	// corruption, duplication, delay, partitions, crashes — see
 	// internal/fault) into RunRingTCP's wire traffic. The fabric's
@@ -223,6 +235,8 @@ func Run(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Res
 		return runWA(build, trainDS, testDS, iters, o)
 	case HierarchicalTree, HierarchicalRing:
 		return runHierarchical(build, trainDS, testDS, iters, o)
+	case SwitchReduce:
+		return runSwitch(build, trainDS, testDS, iters, o)
 	default:
 		return Result{}, fmt.Errorf("train: unknown algorithm %d", o.Algo)
 	}
@@ -477,6 +491,108 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 					cancel() // unblock the other workers' ring steps
 					return
 				}
+				tx := time.Now()
+				commNs[id] += tx.Sub(tc).Nanoseconds()
+				w.applyAveraged(iter, w.grad, o, o.Workers)
+				computeNs[id] += time.Since(tx).Nanoseconds()
+				if id == 0 {
+					iterHist.Observe(time.Since(t0))
+					lossGauge.Set(loss)
+				}
+				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
+					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+				}
+			}
+			if id == 0 {
+				acc, loss := evaluate(w.net, testDS, o.EvalSamples)
+				res.FinalAcc, res.FinalLoss = acc, loss
+				res.FinalWeights = w.net.WeightVector(nil)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return Result{}, err
+	}
+	res.RawBytes = fabric.TotalRawBytes()
+	res.WireBytes = fabric.TotalWireBytes()
+	res.ComputeSeconds = nsSeconds(computeNs)
+	res.CommSeconds = nsSeconds(commNs)
+	res.StragglerWaitSeconds = fabricRecvWaitSeconds(fabric)
+	return res, nil
+}
+
+// runSwitch executes the in-network aggregation loop: node o.Workers is
+// the programmable switch's reduction unit (mpi.SwitchServeCtx); every
+// worker streams its gradient through it chunk by chunk and receives the
+// combined gradient back. The combine is bit-exact with the ring
+// collective, so a SwitchReduce run lands on the same weights as a Ring
+// run (verified by tests).
+func runSwitch(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	fabric := comm.NewFabric(o.Workers+1, o.Processor)
+	fabric.SetRecorder(o.Obs)
+	swID := o.Workers
+	swOpt := mpi.SwitchOptions{ChunkFloats: o.SwitchChunk}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var res Result
+	var wg sync.WaitGroup
+	errs := make([]error, o.Workers+1)
+	computeNs := make([]int64, o.Workers)
+	commNs := make([]int64, o.Workers)
+
+	// Switch reduction unit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gradLen := build(rand.New(rand.NewSource(o.Seed))).NumParams()
+		c := mpi.World(fabric, swID)
+		c.CollectiveCommComp(o.Compress)
+		c.SetFinalize(o.finalizer())
+		c.SetStepTimeout(o.StepTimeout)
+		for iter := 0; iter < iters; iter++ {
+			if err := c.SwitchServeCtx(ctx, gradLen, swOpt); err != nil {
+				errs[swID] = fmt.Errorf("train: switch iter %d: %w", iter, err)
+				cancel()
+				return
+			}
+		}
+	}()
+
+	for id := 0; id < o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w := newWorker(id, build, trainDS, o)
+			c := mpi.World(fabric, id)
+			c.CollectiveCommComp(o.Compress)
+			c.SetStepTimeout(o.StepTimeout)
+			iterHist := o.Obs.Histogram("train_iter_seconds")
+			lossGauge := o.Obs.Gauge("train_loss")
+			for iter := 0; iter < iters; iter++ {
+				t0 := time.Now()
+				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+				loss := w.localGradient()
+				o.straggle(id)
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				w.applyErrorFeedback(o)
+				csp.End()
+				if id == 0 && o.GradHook != nil {
+					o.GradHook(iter, w.grad)
+				}
+				tc := time.Now()
+				computeNs[id] += tc.Sub(t0).Nanoseconds()
+				xsp := o.Obs.Span(id, iter, obs.PhaseSend)
+				if err := c.AllReduceSwitchCtx(ctx, w.grad, swID, swOpt); err != nil {
+					xsp.End()
+					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
+					cancel()
+					return
+				}
+				xsp.End()
 				tx := time.Now()
 				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)

@@ -131,7 +131,7 @@ func computePerIter(spec models.Spec) float64 {
 // IterTime simulates one training iteration of the given system.
 func (c Config) IterTime(sys System, spec models.Spec) Breakdown {
 	n := spec.ParamBytes
-	blk := n / int64(c.Workers)
+	blk := netsim.RingBlockBytes(n, c.Workers)
 	ratio := CompressionRatio(spec, c.BoundExp)
 	var ex netsim.Exchange
 	switch sys {
@@ -160,8 +160,8 @@ func (c Config) ExchangeTime(sys System, spec models.Spec) float64 {
 // broadcast stays uncompressed).
 func (c Config) HierarchicalExchangeTime(spec models.Spec, groups, groupSize int, tree, compressed bool) float64 {
 	n := spec.ParamBytes
-	block := n / int64(groupSize)
-	leaderBlock := n / int64(groups)
+	block := netsim.RingBlockBytes(n, groupSize)
+	leaderBlock := netsim.RingBlockBytes(n, groups)
 	ratio := 1.0
 	if compressed {
 		ratio = CompressionRatio(spec, c.BoundExp)
@@ -178,6 +178,21 @@ func (c Config) HierarchicalExchangeTime(spec models.Spec, groups, groupSize int
 	}
 	return c.Net.Hierarchical(groups, groupSize, n, tree,
 		traffic(block), leaderTraffic, netsim.Plain(n)).Total()
+}
+
+// SwitchExchangeTime simulates the in-network switch all-reduce exchange
+// (per-port combine at Net.SwitchSumRate, chunked through Net.SwitchMemBytes,
+// multicast down): the fifth strategy beside WA/ring/hierarchical, grounded
+// in NetReduce-style switch aggregation. compressed enables in-NIC
+// compression on the per-port gradient streams.
+func (c Config) SwitchExchangeTime(spec models.Spec, compressed bool) float64 {
+	n := spec.ParamBytes
+	traffic := netsim.Plain
+	if compressed {
+		ratio := CompressionRatio(spec, c.BoundExp)
+		traffic = func(bytes int64) netsim.Traffic { return netsim.NICCompressed(bytes, ratio) }
+	}
+	return c.Net.SwitchAllReduce(c.Workers, n, traffic).Total()
 }
 
 // CommShare returns the fraction of iteration time spent in the exchange
