@@ -2,7 +2,7 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench3 bench4 bench5 bench7 benchsmoke chaostest ckptsmoke obssmoke simtest elastictest ci
+.PHONY: build test vet race fuzz bench bench3 bench4 bench5 bench7 bench8 benchsmoke chaostest ckptsmoke obssmoke simtest elastictest soaktest ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
@@ -128,4 +128,25 @@ bench7:
 elastictest:
 	$(GO) test ./internal/train -run 'TestElasticTCPJoin|TestElasticTCPPartitionHeal|TestGCCheckpointsKeepsNewestValid' -count=1 -race -timeout 20m
 
-ci: vet simtest chaostest ckptsmoke obssmoke elastictest race benchsmoke
+# Switch->ring fallback cost report: the fluid-flow model's and the
+# measured runner's degraded (post-fallback) iteration must stay within
+# 1.15x a plain ring iteration, and a silently stalled switch must be
+# detected within 2x the step deadline. Writes bench/BENCH_8.json and
+# fails the build on any gate.
+bench8:
+	$(GO) run ./cmd/incbench -bench8 bench/BENCH_8.json
+
+# Randomized chaos soak, under the race detector: 20 seeded trials of
+# switch kills, mid-stream partitions, lossy links, and worker crashes
+# against the self-healing switch runner (in-process and TCP) and the
+# elastic TCP runner. Every trial must finish bit-exact with a fault-free
+# ring reference or fail closed with a gradeable error; the wall-clock
+# budget keeps a pathological trial from eating the CI slot. Override
+# SOAK_TRIALS / SOAK_SEED to widen or replay a run.
+SOAK_TRIALS ?= 20
+SOAK_SEED ?= 1
+soaktest:
+	$(GO) test -race -timeout 30m ./internal/soak -run 'TestSoak$$' -count=1 -v \
+		-soak-trials=$(SOAK_TRIALS) -soak-seed=$(SOAK_SEED) -soak-budget=20m
+
+ci: vet simtest chaostest ckptsmoke obssmoke elastictest soaktest race benchsmoke

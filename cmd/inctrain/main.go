@@ -6,8 +6,10 @@
 //
 //	inctrain -model hdc-small -workers 4 -algo ring -iters 300 -compress -bound 10
 //	inctrain -algo ring2 -workers 8 -group 4         # Fig. 1c hierarchy
-//	inctrain -algo switch -workers 8 -switch-chunk 256
+//	inctrain -algo switch -workers 8 -switch-chunk 4096
 //	                                                 # in-network switch aggregation
+//	inctrain -algo switch -switch-fallback -step-timeout 2s -chaos-crash 4:10
+//	                                                 # kill the switch mid-run; heal onto the ring
 //	inctrain -tcp -compress                          # real loopback TCP sockets
 //	inctrain -elastic -tcp -join -checkpoint-dir ck -suspect-after 2s
 //	                                                 # elastic ring over TCP with auto-rejoin
@@ -100,6 +102,7 @@ func main() {
 	algo := flag.String("algo", "ring", "distributed algorithm: ring, wa, tree2 (Fig 1b), ring2 (Fig 1c), switch (in-network aggregation)")
 	groupSize := flag.Int("group", 4, "group size for the hierarchical algorithms")
 	switchChunk := flag.Int("switch-chunk", 0, "switch algorithm: floats per streamed chunk (0 = whole gradient; models bounded switch memory)")
+	switchFallback := flag.Bool("switch-fallback", false, "switch algorithm: survive switch failure by falling back to the ring collective mid-run, bit-exact (requires -step-timeout)")
 	iters := flag.Int("iters", 300, "training iterations")
 	batch := flag.Int("batch", 16, "per-node batch size")
 	lr := flag.Float64("lr", 0.02, "base learning rate")
@@ -216,9 +219,19 @@ func main() {
 	if *checkpointDir != "" {
 		*elastic = true
 	}
-	if !*tcp && !*elastic && (*chaosDrop > 0 || *chaosCorrupt > 0 || *chaosCrash != "" || *stepTimeout > 0) {
-		fmt.Fprintln(os.Stderr, "inctrain: -chaos-* and -step-timeout require -tcp or -elastic")
+	if !*tcp && !*elastic && *algo != "switch" && (*chaosDrop > 0 || *chaosCorrupt > 0 || *chaosCrash != "" || *stepTimeout > 0) {
+		fmt.Fprintln(os.Stderr, "inctrain: -chaos-* and -step-timeout require -tcp, -elastic, or -algo switch")
 		os.Exit(2)
+	}
+	if *switchFallback {
+		if *algo != "switch" {
+			fmt.Fprintln(os.Stderr, "inctrain: -switch-fallback requires -algo switch")
+			os.Exit(2)
+		}
+		if *stepTimeout <= 0 {
+			fmt.Fprintln(os.Stderr, "inctrain: -switch-fallback requires -step-timeout > 0 (stall detection needs a deadline)")
+			os.Exit(2)
+		}
 	}
 	if (*checkpointEvery > 0 || *resume) && *checkpointDir == "" {
 		fmt.Fprintln(os.Stderr, "inctrain: -checkpoint-every and -resume require -checkpoint-dir")
@@ -393,8 +406,8 @@ func main() {
 			os.Exit(1)
 		}
 	} else if *tcp {
-		if *algo != "ring" {
-			fmt.Fprintln(os.Stderr, "inctrain: -tcp supports only -algo ring")
+		if *algo != "ring" && *algo != "switch" {
+			fmt.Fprintln(os.Stderr, "inctrain: -tcp supports only -algo ring or -algo switch")
 			os.Exit(2)
 		}
 		b, berr := fpcodec.NewBound(*bound)
@@ -403,8 +416,17 @@ func main() {
 			os.Exit(2)
 		}
 		o.StepTimeout = *stepTimeout
-		res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
+		if *algo == "switch" {
+			o.SwitchFallback = *switchFallback
+			res, err = train.RunSwitchTCP(build, trainDS, testDS, *iters, o, b)
+		} else {
+			res, err = train.RunRingTCP(build, trainDS, testDS, *iters, o, b)
+		}
 	} else {
+		if *algo == "switch" {
+			o.SwitchFallback = *switchFallback
+			o.StepTimeout = *stepTimeout
+		}
 		res, err = train.Run(build, trainDS, testDS, *iters, o)
 	}
 	if err != nil {
@@ -416,6 +438,10 @@ func main() {
 		fmt.Printf("  iter %5d  accuracy %5.1f%%  loss %.4f\n", p.Iter, 100*p.Accuracy, p.Loss)
 	}
 	fmt.Printf("final: accuracy %.1f%%  loss %.4f\n", 100*res.FinalAcc, res.FinalLoss)
+	if res.Fallbacks > 0 {
+		fmt.Printf("fallback: %d collective fallback(s), detected in %.3fs — %s\n",
+			res.Fallbacks, res.FallbackDetectSeconds, res.FallbackCause)
+	}
 	if res.RawBytes > 0 && res.WireBytes > 0 {
 		fmt.Printf("traffic: %d raw bytes, %d wire bytes (%.2fx reduction)\n",
 			res.RawBytes, res.WireBytes, float64(res.RawBytes)/float64(res.WireBytes))

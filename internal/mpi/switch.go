@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 )
 
@@ -27,6 +28,21 @@ const (
 	switchTagMod  = 64
 )
 
+// Sentinels for the two failure classes the switch protocol itself can
+// detect; the health monitor (GradeSwitchFault) keys off them.
+var (
+	// ErrSwitchWindow reports a chunking whose chunk count exceeds the
+	// mod-64 tag window: the k-th and (k+64)-th chunks would carry the
+	// same tag, so a frame delayed across the window boundary could alias
+	// a later chunk undetected. Validate rejects the configuration up
+	// front instead.
+	ErrSwitchWindow = errors.New("mpi: switch chunk count exceeds the tag window")
+	// ErrSwitchProtocol reports a combine that violated the stream
+	// protocol — a chunk of the wrong size, evidence the switch (or a
+	// port) missed or mangled a combine step.
+	ErrSwitchProtocol = errors.New("mpi: switch protocol violation")
+)
+
 // SwitchOptions tunes the switch collective.
 type SwitchOptions struct {
 	// ChunkFloats bounds how many float32s stream through the switch per
@@ -40,6 +56,25 @@ func (o SwitchOptions) chunk(n int) int {
 		return n
 	}
 	return o.ChunkFloats
+}
+
+// Validate checks the chunking against the tag window for an n-float
+// vector: more than switchTagMod chunks would silently wrap the
+// tagSwitchUp/tagSwitchDown mod-64 bands, risking cross-chunk frame
+// aliasing. The returned error (wrapping ErrSwitchWindow) names the
+// smallest ChunkFloats that fits.
+func (o SwitchOptions) Validate(n int) error {
+	if n <= 0 {
+		return nil
+	}
+	chunk := o.chunk(n)
+	chunks := (n + chunk - 1) / chunk
+	if chunks > switchTagMod {
+		minChunk := (n + switchTagMod - 1) / switchTagMod
+		return fmt.Errorf("%w: %d floats in %d-float chunks is %d chunks, window holds %d (use ChunkFloats >= %d)",
+			ErrSwitchWindow, n, chunk, chunks, switchTagMod, minChunk)
+	}
+	return nil
 }
 
 // AllReduceSwitch is AllReduceSwitchCtx with the legacy panic-on-failure
@@ -63,6 +98,9 @@ func (c *Comm) AllReduceSwitchCtx(ctx context.Context, vec []float32, sw int, op
 	if c.rank == sw {
 		return fmt.Errorf("mpi: rank %d is the switch; run SwitchServeCtx instead", c.rank)
 	}
+	if err := opt.Validate(len(vec)); err != nil {
+		return err
+	}
 	chunk := opt.chunk(len(vec))
 	for k, lo := 0, 0; lo < len(vec); k, lo = k+1, lo+chunk {
 		hi := lo + chunk
@@ -77,7 +115,7 @@ func (c *Comm) AllReduceSwitchCtx(ctx context.Context, vec []float32, sw int, op
 			return err
 		}
 		if len(rb) != hi-lo {
-			return fmt.Errorf("mpi: switch returned %d floats for a %d-float chunk", len(rb), hi-lo)
+			return fmt.Errorf("%w: switch returned %d floats for a %d-float chunk", ErrSwitchProtocol, len(rb), hi-lo)
 		}
 		copy(vec[lo:hi], rb)
 	}
@@ -101,6 +139,9 @@ func (c *Comm) SwitchServeCtx(ctx context.Context, gradLen int, opt SwitchOption
 			workers = append(workers, r)
 		}
 	}
+	if err := opt.Validate(gradLen); err != nil {
+		return err
+	}
 	chunk := opt.chunk(gradLen)
 	ports := make([][]float32, p)
 	out := make([]float32, chunk)
@@ -115,7 +156,7 @@ func (c *Comm) SwitchServeCtx(ctx context.Context, gradLen int, opt SwitchOption
 				return err
 			}
 			if len(rb) != hi-lo {
-				return fmt.Errorf("mpi: port %d sent %d floats for a %d-float chunk", r, len(rb), hi-lo)
+				return fmt.Errorf("%w: port %d sent %d floats for a %d-float chunk", ErrSwitchProtocol, r, len(rb), hi-lo)
 			}
 			ports[wi] = rb
 		}

@@ -2,7 +2,9 @@ package mpi
 
 import (
 	"context"
+	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -70,6 +72,9 @@ func TestAllReduceSwitchBitExactWithRing(t *testing.T) {
 			})
 
 			for _, chunk := range []int{0, 1, 3, vecLen / 2, vecLen} {
+				if (SwitchOptions{ChunkFloats: chunk}).Validate(vecLen) != nil {
+					continue // over-chunked configs are rejected, covered below
+				}
 				got := runSwitchWorld(t, p, vecLen, SwitchOptions{ChunkFloats: chunk}, fill)
 				if len(got) != p {
 					t.Fatalf("p=%d len=%d chunk=%d: %d workers reported", p, vecLen, chunk, len(got))
@@ -87,11 +92,35 @@ func TestAllReduceSwitchBitExactWithRing(t *testing.T) {
 	}
 }
 
-// TestAllReduceSwitchManyChunks stresses the tag-sequence window with far
-// more chunks than switchTagMod.
-func TestAllReduceSwitchManyChunks(t *testing.T) {
+// TestAllReduceSwitchWindowGuard pins the tag-window validation: chunk
+// counts past switchTagMod would silently wrap the mod-64 up/down tag
+// bands, so both sides must reject the configuration up front with a
+// sized-window error naming the smallest legal chunk — and the largest
+// chunking that fits must still work.
+func TestAllReduceSwitchWindowGuard(t *testing.T) {
 	const p, vecLen = 3, 300
-	got := runSwitchWorld(t, p, vecLen, SwitchOptions{ChunkFloats: 2}, func(rank, i int) float32 {
+	// 150 chunks of 2 floats: both roles refuse before touching the wire.
+	opt := SwitchOptions{ChunkFloats: 2}
+	if err := opt.Validate(vecLen); !errors.Is(err, ErrSwitchWindow) {
+		t.Fatalf("Validate(300) with 2-float chunks = %v, want ErrSwitchWindow", err)
+	} else if !strings.Contains(err.Error(), "ChunkFloats >= 5") {
+		t.Errorf("window error should size the minimum chunk (300/64 -> 5): %v", err)
+	}
+	runRanks(t, p+1, nil, func(c *Comm) {
+		if c.Rank() == p {
+			if err := c.SwitchServeCtx(context.Background(), vecLen, opt); !errors.Is(err, ErrSwitchWindow) {
+				t.Errorf("switch accepted a wrapped tag window: %v", err)
+			}
+			return
+		}
+		vec := make([]float32, vecLen)
+		if err := c.AllReduceSwitchCtx(context.Background(), vec, p, opt); !errors.Is(err, ErrSwitchWindow) {
+			t.Errorf("rank %d accepted a wrapped tag window: %v", c.Rank(), err)
+		}
+	})
+
+	// The minimum legal chunk (exactly 60 chunks of 5) must stream clean.
+	got := runSwitchWorld(t, p, vecLen, SwitchOptions{ChunkFloats: 5}, func(rank, i int) float32 {
 		return float32(rank + 1)
 	})
 	for r := 0; r < p; r++ {

@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"context"
+	"errors"
+
+	"inceptionn/internal/fault"
+)
+
+// Switch health monitoring: the in-network reduction unit sits on the
+// critical path of every iteration, so a training loop needs to decide —
+// from nothing but the error its exchange returned — whether the switch
+// is dead (fall back to a host-based collective), merely slow, or whether
+// the fault is its own. The grading mirrors internal/elastic's suspect
+// causes: transport self-reports are hard evidence, deadline expiries are
+// soft (a stall could be a straggling port), and protocol violations are
+// hard (the stream itself is broken, whoever caused it).
+
+// SwitchFaultClass is the graded failure class of a switch-collective
+// error.
+type SwitchFaultClass int
+
+const (
+	// SwitchFaultNone: no error.
+	SwitchFaultNone SwitchFaultClass = iota
+	// SwitchFaultUnrelated: the operation was cancelled from outside
+	// (context.Canceled) — no evidence against the switch.
+	SwitchFaultUnrelated
+	// SwitchFaultStall: a deadline expired mid-stream. Soft evidence: the
+	// switch link is up but a combine never arrived — a dead switch and a
+	// straggling port look identical from one observation.
+	SwitchFaultStall
+	// SwitchFaultProtocol: a mis-sized chunk or a rejected tag window —
+	// the combine stream violated its own protocol. Hard evidence.
+	SwitchFaultProtocol
+	// SwitchFaultLink: the transport itself gave up — a crashed node,
+	// an exhausted retransmission budget (partitioned link), or a closed
+	// peer. Hard evidence.
+	SwitchFaultLink
+)
+
+// String implements fmt.Stringer.
+func (c SwitchFaultClass) String() string {
+	switch c {
+	case SwitchFaultNone:
+		return "none"
+	case SwitchFaultUnrelated:
+		return "unrelated"
+	case SwitchFaultStall:
+		return "stall"
+	case SwitchFaultProtocol:
+		return "protocol"
+	case SwitchFaultLink:
+		return "link"
+	default:
+		return "unknown"
+	}
+}
+
+// Hard reports whether the class alone confirms a switch failure (soft
+// evidence needs the monitor's strike policy).
+func (c SwitchFaultClass) Hard() bool {
+	return c == SwitchFaultProtocol || c == SwitchFaultLink
+}
+
+// GradeSwitchFault classifies an error from the switch collective and
+// returns the class plus a suspect-cause string in the style of the
+// elastic layer's death grading. A nil error grades as SwitchFaultNone.
+func GradeSwitchFault(err error) (SwitchFaultClass, string) {
+	switch {
+	case err == nil:
+		return SwitchFaultNone, ""
+	case errors.Is(err, context.Canceled):
+		return SwitchFaultUnrelated, "operation cancelled: no evidence against the switch"
+	case errors.Is(err, fault.ErrCrashed):
+		return SwitchFaultLink, "transport self-report: process crash"
+	case errors.Is(err, fault.ErrMaxRetries):
+		return SwitchFaultLink, "switch link down: retransmission budget exhausted, partition suspected"
+	case errors.Is(err, fault.ErrClosed):
+		return SwitchFaultLink, "switch link closed: peer torn down"
+	case errors.Is(err, ErrSwitchWindow), errors.Is(err, ErrSwitchProtocol):
+		return SwitchFaultProtocol, "switch protocol violation: missed or mangled combine"
+	case errors.Is(err, context.DeadlineExceeded):
+		return SwitchFaultStall, "switch stream stalled: link up, combine never arrived — hang or crash suspected"
+	default:
+		// Unrecognized transport errors (torn frames, tag mismatches from
+		// a desynced stream) are protocol-grade: the stream is broken.
+		return SwitchFaultProtocol, "switch stream desynced: " + err.Error()
+	}
+}
+
+// SwitchMonitor accumulates graded evidence against the switch and
+// decides when a failure is confirmed. Hard classes confirm immediately;
+// stalls are soft and must repeat SoftStrikes times consecutively (a
+// successful exchange clears the count), so a single straggling port
+// under a generous StepTimeout does not condemn a live switch.
+//
+// The monitor is a per-observer policy object, not shared state: each
+// worker grades its own exchange errors. It is not safe for concurrent
+// use.
+type SwitchMonitor struct {
+	// SoftStrikes is how many consecutive stall observations confirm a
+	// failure; 0 means the default of 1 (one full exchange timeout is
+	// already StepTimeout-bounded evidence).
+	SoftStrikes int
+
+	strikes int
+}
+
+// softLimit resolves the strike policy.
+func (m *SwitchMonitor) softLimit() int {
+	if m.SoftStrikes <= 0 {
+		return 1
+	}
+	return m.SoftStrikes
+}
+
+// Observe grades one exchange outcome. confirmed is true when the
+// accumulated evidence establishes switch failure; class and cause
+// describe this observation.
+func (m *SwitchMonitor) Observe(err error) (confirmed bool, class SwitchFaultClass, cause string) {
+	class, cause = GradeSwitchFault(err)
+	switch class {
+	case SwitchFaultNone:
+		m.strikes = 0
+		return false, class, cause
+	case SwitchFaultUnrelated:
+		return false, class, cause
+	case SwitchFaultStall:
+		m.strikes++
+		return m.strikes >= m.softLimit(), class, cause
+	default:
+		m.strikes = 0
+		return true, class, cause
+	}
+}

@@ -39,12 +39,18 @@ const (
 	PhaseDecompress
 	PhaseCheckpoint
 	PhaseReplay
+	// PhaseFallback marks a mid-run collective degradation: the span's
+	// node is the component that failed (the switch), its duration the
+	// detection latency from fault onset to confirmation. Critical-path
+	// attribution treats it as overriding evidence — an iteration
+	// containing a fallback span is gated by that node, full stop.
+	PhaseFallback
 	NumPhases // sentinel: number of phases
 )
 
 var phaseNames = [NumPhases]string{
 	"compute", "compress", "send", "recv",
-	"reduce", "decompress", "checkpoint", "replay",
+	"reduce", "decompress", "checkpoint", "replay", "fallback",
 }
 
 // String returns the phase's wire name (used in trace JSONL).

@@ -129,14 +129,14 @@ func (b *Breakdown) RenderTable(w io.Writer) {
 }
 
 // timelineChars maps each phase to its timeline glyph.
-var timelineChars = [NumPhases]byte{'c', 'z', 's', 'r', '+', 'd', 'K', 'R'}
+var timelineChars = [NumPhases]byte{'c', 'z', 's', 'r', '+', 'd', 'K', 'R', 'F'}
 
 // RenderTimeline writes an ASCII step timeline: one row per node, the
 // trace's wall-clock extent divided into width buckets, each bucket
 // showing the phase that dominated it ('.' = idle):
 //
 //	c compute   z compress   s send   r recv
-//	+ reduce    d decompress K checkpoint R replay
+//	+ reduce    d decompress K checkpoint R replay F fallback
 func RenderTimeline(w io.Writer, spans []Span, width int) {
 	if width < 10 {
 		width = 10

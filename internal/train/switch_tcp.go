@@ -1,0 +1,124 @@
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/data"
+	"inceptionn/internal/fault"
+	"inceptionn/internal/fpcodec"
+	"inceptionn/internal/mpi"
+	"inceptionn/internal/tcpfabric"
+)
+
+// RunSwitchTCP trains with the in-network switch collective over genuine
+// loopback TCP sockets: node o.Workers is the switch's reduction unit,
+// every gradient byte really crosses a socket, compressed by the NIC
+// engine model when o.Compress is set (Options.Processor is ignored —
+// the TCP fabric embeds its own engines; bound selects their error
+// bound).
+//
+// o.StepTimeout bounds each protocol step, o.Chaos injects deterministic
+// transport faults, and o.SwitchFallback makes the run survive the
+// switch node's death by falling back to the ring collective mid-run,
+// bit-exact with an uninterrupted ring run (see switchheal.go).
+func RunSwitchTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Options, bound fpcodec.Bound) (Result, error) {
+	if o.Workers < 1 {
+		return Result{}, fmt.Errorf("train: %d workers", o.Workers)
+	}
+	if o.BatchPerNode < 1 {
+		return Result{}, fmt.Errorf("train: batch per node %d", o.BatchPerNode)
+	}
+	if o.EvalSamples == 0 {
+		o.EvalSamples = 256
+	}
+	if o.SwitchFallback && o.StepTimeout <= 0 {
+		return Result{}, fmt.Errorf("train: SwitchFallback requires StepTimeout > 0 (stall detection needs a deadline)")
+	}
+	copts := tcpfabric.ClusterOptions{Compress: o.Compress, Bound: bound, Obs: o.Obs}
+	if o.Chaos != nil {
+		copts.Chaos = fault.NewInjector(o.Workers+1, *o.Chaos)
+	}
+	cluster, err := tcpfabric.NewClusterWithOptions(o.Workers+1, copts)
+	if err != nil {
+		return Result{}, err
+	}
+	defer cluster.Close()
+
+	// Replica-identity finalize under lossy compression: the same codec
+	// the fabric's engines apply.
+	var finalize func([]float32)
+	if o.Compress {
+		finalize = func(b []float32) {
+			for i, v := range b {
+				b[i] = fpcodec.Roundtrip(v, bound)
+			}
+		}
+	}
+
+	r := newSwitchRun(build, trainDS, testDS, iters, o, finalize)
+	defer r.cancel()
+
+	// Watch every node's anomaly channel. Before the fallback engages,
+	// all traffic is switch-path traffic, so a hard anomaly (exhausted
+	// retries, torn frame, stream desync) is direct evidence against the
+	// switch path and trips the gate instead of failing the run; after
+	// the fallback — or without one armed — anomalies abort the run
+	// exactly as in RunRingTCP.
+	var fabricMu sync.Mutex
+	var fabricErr error
+	for id := 0; id <= o.Workers; id++ {
+		go func(errCh <-chan error) {
+			select {
+			case err := <-errCh:
+				if r.gate != nil && !r.gate.isTripped() {
+					if class, cause := mpi.GradeSwitchFault(err); class.Hard() {
+						r.gate.trip(-1, class, "fabric anomaly: "+cause, 0)
+						return
+					}
+				}
+				fabricMu.Lock()
+				if fabricErr == nil {
+					fabricErr = err
+				}
+				fabricMu.Unlock()
+				r.cancel()
+			case <-r.ctx.Done():
+			}
+		}(cluster.Node(id).Errors())
+	}
+
+	res, runErr := r.execute(func(id int) (comm.Peer, func()) {
+		return cluster.Node(id), nil
+	})
+	fabricMu.Lock()
+	if fabricErr != nil && (r.gate == nil || !r.gate.isTripped()) &&
+		(runErr == nil || errors.Is(runErr, context.Canceled)) {
+		runErr = fabricErr
+	}
+	fabricMu.Unlock()
+	if runErr != nil {
+		return Result{}, runErr
+	}
+
+	for id := 0; id <= o.Workers; id++ {
+		res.WireBytes += cluster.Node(id).SentBytes()
+	}
+	// Raw bytes, analytically: a switch iteration ships the model up and
+	// down once per worker; a ring iteration ships 2(N−1)/N of it per
+	// worker. A fallback splits the run at the trip iteration (the replay
+	// iteration counts once more on the ring side).
+	modelBytes := int64(4 * build(rand.New(rand.NewSource(o.Seed))).NumParams())
+	swIters, ringIters := int64(iters), int64(0)
+	if fi := r.fallbackIter(); fi >= 0 {
+		swIters = int64(fi)
+		ringIters = int64(iters) - swIters
+	}
+	perWorkerRing := modelBytes * 2 * int64(o.Workers-1) / int64(o.Workers)
+	res.RawBytes = int64(o.Workers) * (swIters*modelBytes*2 + ringIters*perWorkerRing)
+	return res, nil
+}

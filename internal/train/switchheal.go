@@ -1,0 +1,627 @@
+// Self-healing switch training: the SwitchReduce runner survives the
+// death of its in-network reduction unit. Every worker grades its
+// exchange errors with the mpi switch health monitor; once a failure is
+// confirmed (a hard transport self-report, or a stall after the full
+// step deadline), a one-shot gate cancels the switch data path on every
+// worker at once, the workers agree on the newest iteration everyone can
+// still replay (two-deep snapshots; the switch protocol bounds survivor
+// skew to one iteration), roll back, and finish the run on the ring
+// collective — bit-exact, because the switch combine replicates the
+// ring's per-block accumulation order, so the replayed ring iterations
+// land on identical float32 weights.
+//
+// Only the switch is expendable: a worker casualty still fails the run
+// closed (that is the elastic runner's job, not this one's).
+package train
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"inceptionn/internal/comm"
+	"inceptionn/internal/data"
+	"inceptionn/internal/elastic"
+	"inceptionn/internal/fault"
+	"inceptionn/internal/mpi"
+	"inceptionn/internal/obs"
+	"inceptionn/internal/ring"
+)
+
+// fallbackTagOffset re-bands the fallback ring's traffic above every tag
+// the switch collective ever used (reusing the elastic layer's epoch
+// stride), so a frame from the abandoned switch exchange can never alias
+// a ring step even on a transport that mixes streams.
+var fallbackTagOffset = elastic.TagBase(1)
+
+// switchJoinTimeout bounds how long the runner waits for the switch
+// goroutine after every worker has exited. A serve still blocked past it
+// is a leak, reported as the run's error instead of stranding a
+// goroutine (and, under -race in tests, failing the build's leak checks).
+const switchJoinTimeout = 10 * time.Second
+
+// switchSnap is one retained iteration boundary of a switch worker. As
+// in the elastic runner, a snapshot is taken right before each exchange;
+// the switch protocol cannot complete an iteration for any worker until
+// every worker has engaged it, so survivors are at most one iteration
+// apart and two snapshots cover any replay point the gate can pick.
+type switchSnap struct {
+	iter     int
+	weights  []float32 // pre-update
+	velocity []float32 // pre-update
+	residual []float32 // post-fold error-feedback state
+	grad     []float32 // post-feedback local gradient, ready to exchange
+}
+
+// switchWorker extends the fixed-topology worker with replay snapshots.
+// Unlike the elastic worker it keeps the plain rand-based loader: replays
+// reuse the snapshot's retained gradient, so the data stream advances
+// exactly once per iteration and never needs seeking.
+type switchWorker struct {
+	*worker
+	snaps [2]*switchSnap // [0] newest
+}
+
+func (w *switchWorker) takeSnapshot(iter int) {
+	s := &switchSnap{
+		iter:     iter,
+		weights:  w.net.WeightVector(nil),
+		velocity: w.sgd.VelocityVector(w.net.Params(), nil),
+		grad:     append([]float32(nil), w.grad...),
+	}
+	if w.residual != nil {
+		s.residual = append([]float32(nil), w.residual...)
+	}
+	if w.snaps[0] != nil && w.snaps[0].iter == iter {
+		w.snaps[0] = s
+		return
+	}
+	w.snaps[1], w.snaps[0] = w.snaps[0], s
+}
+
+func (w *switchWorker) snapFor(iter int) *switchSnap {
+	for _, s := range w.snaps {
+		if s != nil && s.iter == iter {
+			return s
+		}
+	}
+	return nil
+}
+
+// restoreSnapshot rewinds to the pre-exchange state of iter: weights,
+// optimizer state, residual, and the retained local gradient, which the
+// replayed exchange reuses instead of recomputing.
+func (w *switchWorker) restoreSnapshot(iter int) error {
+	s := w.snapFor(iter)
+	if s == nil {
+		return fmt.Errorf("train: worker %d has no snapshot for iteration %d (survivor skew exceeded the retained window)", w.id, iter)
+	}
+	w.net.SetWeightVector(s.weights)
+	if err := w.sgd.SetVelocityVector(w.net.Params(), s.velocity); err != nil {
+		return err
+	}
+	w.grad = append(w.grad[:0], s.grad...)
+	if w.residual != nil && s.residual != nil {
+		copy(w.residual, s.residual)
+	}
+	return nil
+}
+
+// fallbackGate is the one-shot switch-failure consensus object shared by
+// every worker of a self-healing run. Tripping it (once, ever) cancels
+// the switch data path, records the collective_fallbacks counter and the
+// fallback span (node = the dead switch, duration = detection latency),
+// and opens the replay rendezvous where all workers agree on the newest
+// iteration every one of them retains. It also holds the completion
+// drain: a worker that finishes all iterations on the switch path parks
+// until every sibling finished too, because a switch death during a
+// straggler's final exchange forces even finished workers back one
+// iteration.
+type fallbackGate struct {
+	workers int
+	swID    int
+	rec     *obs.Recorder
+
+	// swCtx scopes every switch-path operation (worker exchanges and the
+	// serve loop); tripping the gate cancels it, aborting the abandoned
+	// protocol on all parties at once.
+	swCtx    context.Context
+	swCancel context.CancelFunc
+
+	mu        sync.Mutex
+	tripped   bool
+	class     mpi.SwitchFaultClass
+	cause     string
+	tripIter  int
+	detect    time.Duration
+	trippedCh chan struct{}
+
+	contrib    map[int]int // worker id -> iteration at fallback entry
+	replay     int
+	resolvedCh chan struct{}
+
+	done    int // workers parked at the completion drain
+	allDone chan struct{}
+}
+
+func newFallbackGate(runCtx context.Context, workers, swID int, rec *obs.Recorder) *fallbackGate {
+	g := &fallbackGate{
+		workers:    workers,
+		swID:       swID,
+		rec:        rec,
+		trippedCh:  make(chan struct{}),
+		contrib:    make(map[int]int, workers),
+		resolvedCh: make(chan struct{}),
+		allDone:    make(chan struct{}),
+	}
+	g.swCtx, g.swCancel = context.WithCancel(runCtx)
+	return g
+}
+
+func (g *fallbackGate) isTripped() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tripped
+}
+
+// trip confirms the switch failure. iter is the iteration the detecting
+// party was on (negative for out-of-band evidence like a fabric anomaly
+// watcher), detect the latency from fault onset to confirmation. Only the
+// first call wins; calls after every worker already finished are ignored
+// (the run is complete — a teardown error cannot fail it retroactively).
+func (g *fallbackGate) trip(iter int, class mpi.SwitchFaultClass, cause string, detect time.Duration) {
+	g.mu.Lock()
+	if g.tripped || g.done == g.workers {
+		g.mu.Unlock()
+		return
+	}
+	g.tripped = true
+	g.class, g.cause, g.tripIter, g.detect = class, cause, iter, detect
+	close(g.trippedCh)
+	g.mu.Unlock()
+	g.swCancel()
+	g.rec.Counter("collective_fallbacks").Add(1)
+	// The fallback span charges the iteration to the dead switch itself:
+	// its duration is the detection window, during which every survivor's
+	// recv waits are evidence of the failure, not of a slow neighbor —
+	// critical-path attribution treats it as an override.
+	g.rec.RecordSpan(g.swID, iter, obs.PhaseFallback, time.Now().Add(-detect), detect)
+}
+
+// verdict returns the trip facts (valid once tripped).
+func (g *fallbackGate) verdict() (class mpi.SwitchFaultClass, cause string, iter int, detect time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.class, g.cause, g.tripIter, g.detect
+}
+
+// resolve is the replay rendezvous: each worker contributes the
+// iteration it reached; once all have, the replay point is the minimum —
+// the newest iteration every worker can still restore. Blocks until the
+// rendezvous completes or ctx dies (a worker that failed closed never
+// contributes, and its run cancellation unblocks everyone with an error).
+func (g *fallbackGate) resolve(ctx context.Context, id, iter int) (int, error) {
+	g.mu.Lock()
+	if _, ok := g.contrib[id]; !ok {
+		g.contrib[id] = iter
+		if len(g.contrib) == g.workers {
+			g.replay = iter
+			for _, it := range g.contrib {
+				if it < g.replay {
+					g.replay = it
+				}
+			}
+			close(g.resolvedCh)
+		}
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.resolvedCh:
+		return g.replay, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+
+// finish is the completion drain for a worker that ran out of iterations
+// on the switch path. It returns false when the worker may really exit
+// (every sibling finished, or the run died) and true when the gate
+// tripped and the worker must resurrect to join the replay.
+func (g *fallbackGate) finish(ctx context.Context) bool {
+	g.mu.Lock()
+	if g.tripped {
+		g.mu.Unlock()
+		return true
+	}
+	g.done++
+	if g.done == g.workers {
+		close(g.allDone)
+		g.mu.Unlock()
+		return false
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.allDone:
+		return false
+	case <-g.trippedCh:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// switchRun is the shared state of one SwitchReduce training run, used by
+// both the in-process runner (runSwitch) and the TCP runner
+// (RunSwitchTCP). transport hands each node its data-plane peer plus an
+// optional cleanup.
+type switchRun struct {
+	o        Options
+	iters    int
+	build    Builder
+	trainDS  data.Dataset
+	testDS   data.Dataset
+	gradLen  int
+	swID     int
+	swOpt    mpi.SwitchOptions
+	finalize func([]float32)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	gate   *fallbackGate // nil when Options.SwitchFallback is off
+
+	computeNs []int64
+	commNs    []int64
+	errs      []error // per worker id
+
+	mu    sync.Mutex
+	evals map[int]EvalPoint // keyed by iter; replays overwrite
+	res   Result            // leader's finals, under mu
+}
+
+func newSwitchRun(build Builder, trainDS, testDS data.Dataset, iters int, o Options, finalize func([]float32)) *switchRun {
+	r := &switchRun{
+		o: o, iters: iters, build: build, trainDS: trainDS, testDS: testDS,
+		gradLen:  build(rand.New(rand.NewSource(o.Seed))).NumParams(),
+		swID:     o.Workers,
+		swOpt:    mpi.SwitchOptions{ChunkFloats: o.SwitchChunk},
+		finalize: finalize,
+
+		computeNs: make([]int64, o.Workers),
+		commNs:    make([]int64, o.Workers),
+		errs:      make([]error, o.Workers),
+		evals:     make(map[int]EvalPoint),
+	}
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	if o.SwitchFallback {
+		r.gate = newFallbackGate(r.ctx, o.Workers, r.swID, o.Obs)
+	}
+	return r
+}
+
+func (r *switchRun) fail(id int, err error) {
+	r.errs[id] = err
+	r.cancel() // unblock the siblings and the serve loop
+}
+
+func (r *switchRun) recordEval(p EvalPoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evals[p.Iter] = p
+}
+
+// exchangeCtx is the context switch-path exchanges run under: the gate's
+// cancellable switch scope when fallback is armed, the run context
+// otherwise.
+func (r *switchRun) exchangeCtx() context.Context {
+	if r.gate != nil {
+		return r.gate.swCtx
+	}
+	return r.ctx
+}
+
+// enterFallback moves one worker onto the ring path: rendezvous on the
+// replay point, then restore the snapshot when this worker has anything
+// in flight or ahead of the replay point. Returns the iteration to
+// resume at and whether its exchange-ready gradient is already loaded.
+func (r *switchRun) enterFallback(w *switchWorker, id, iter int, pending bool) (int, bool, error) {
+	replay, err := r.gate.resolve(r.ctx, id, iter)
+	if err != nil {
+		return 0, false, fmt.Errorf("train: worker %d fallback rendezvous: %w", id, err)
+	}
+	if replay < iter || pending {
+		rsp := r.o.Obs.Span(id, replay, obs.PhaseReplay)
+		rerr := w.restoreSnapshot(replay)
+		rsp.End()
+		if rerr != nil {
+			return 0, false, rerr
+		}
+		return replay, true, nil
+	}
+	return iter, false, nil
+}
+
+// runWorker is one worker's whole training loop: switch exchanges until
+// the gate trips (if ever), then ring exchanges to the end. The outer
+// loop exists for the completion drain — a worker that finished on the
+// switch path can be resurrected into the replay.
+func (r *switchRun) runWorker(id int, tp comm.Peer) {
+	o := r.o
+	w := &switchWorker{worker: newWorker(id, r.build, r.trainDS, o)}
+	c := mpi.WorldPeer(tp)
+	c.CollectiveCommComp(o.Compress)
+	c.SetStepTimeout(o.StepTimeout)
+	e := comm.AsCtxPeer(tp)
+	ringMembers := make([]int, o.Workers)
+	for i := range ringMembers {
+		ringMembers[i] = i
+	}
+
+	iterHist := o.Obs.Histogram("train_iter_seconds")
+	lossGauge := o.Obs.Gauge("train_loss")
+	var lastLoss float64
+	var mon mpi.SwitchMonitor
+	ringMode := false
+	iter, pending := 0, false
+
+	for {
+		for iter < r.iters {
+			if !ringMode && r.gate != nil && r.gate.isTripped() {
+				// A sibling (or the switch itself) confirmed the failure
+				// while this worker was between exchanges.
+				ringMode = true
+				var err error
+				iter, pending, err = r.enterFallback(w, id, iter, pending)
+				if err != nil {
+					r.fail(id, err)
+					return
+				}
+				continue
+			}
+			passStart := time.Now()
+			if !pending && r.gate != nil {
+				if w.snapFor(iter) != nil {
+					// A replay rewound this worker past an iteration it had
+					// already computed: reuse the retained gradient so Next()
+					// is never called twice for one iteration and the rand
+					// loader stream stays exactly the fault-free one.
+					if err := w.restoreSnapshot(iter); err != nil {
+						r.fail(id, err)
+						return
+					}
+					pending = true
+				}
+			}
+			if !pending {
+				t0 := time.Now()
+				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
+				lastLoss = w.localGradient()
+				o.straggle(id)
+				if o.LocalGradTransform != nil {
+					o.LocalGradTransform(w.grad)
+				}
+				w.applyErrorFeedback(o)
+				csp.End()
+				if id == 0 && o.GradHook != nil {
+					o.GradHook(iter, w.grad)
+				}
+				if r.gate != nil {
+					w.takeSnapshot(iter)
+				}
+				pending = true
+				r.computeNs[id] += time.Since(t0).Nanoseconds()
+			}
+
+			tx := time.Now()
+			var exErr error
+			if !ringMode {
+				xsp := o.Obs.Span(id, iter, obs.PhaseSend)
+				exErr = c.AllReduceSwitchCtx(r.exchangeCtx(), w.grad, r.swID, r.swOpt)
+				xsp.End()
+			} else {
+				ropt := ring.Options{
+					StepTimeout: o.StepTimeout,
+					ChunkSize:   o.ChunkSize,
+					TagOffset:   fallbackTagOffset,
+					Obs:         o.Obs,
+					ObsIter:     iter,
+				}
+				exErr = ring.AllReduceGroupCtx(r.ctx, e, ringMembers, w.grad, o.gradTos(), r.finalize, ropt)
+			}
+			r.commNs[id] += time.Since(tx).Nanoseconds()
+
+			if exErr != nil {
+				if !ringMode && r.gate != nil {
+					if errors.Is(exErr, fault.ErrCrashed) || errors.Is(exErr, fault.ErrClosed) {
+						// This worker is the casualty, not the switch: fail
+						// closed. Falling back cannot save a run missing a
+						// gradient shard.
+						r.fail(id, fmt.Errorf("train: worker %d iter %d: %w", id, iter, exErr))
+						return
+					}
+					confirmed, class, cause := mon.Observe(exErr)
+					if confirmed && !r.gate.isTripped() {
+						r.gate.trip(iter, class, cause, time.Since(tx))
+					}
+					if r.gate.isTripped() {
+						continue // loop top engages the fallback
+					}
+					// Unconfirmed and nobody tripped: an unrelated
+					// cancellation (a sibling's hard fault) — fall through.
+				}
+				r.fail(id, fmt.Errorf("train: worker %d iter %d: %w", id, iter, exErr))
+				return
+			}
+
+			ta := time.Now()
+			w.applyAveraged(iter, w.grad, o, o.Workers)
+			r.computeNs[id] += time.Since(ta).Nanoseconds()
+			pending = false
+			if id == 0 {
+				iterHist.Observe(time.Since(passStart))
+				lossGauge.Set(lastLoss)
+				if o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == r.iters-1) {
+					acc, loss := evaluate(w.net, r.testDS, o.EvalSamples)
+					r.recordEval(EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
+				}
+			}
+			iter++
+		}
+
+		if ringMode || r.gate == nil {
+			break // ring completion is final; so is an unarmed switch run
+		}
+		if !r.gate.finish(r.ctx) {
+			break
+		}
+		// Resurrected: the switch died during a straggler's exchange after
+		// this worker already finished — rejoin at the agreed replay point.
+		ringMode = true
+		var err error
+		iter, pending, err = r.enterFallback(w, id, iter, pending)
+		if err != nil {
+			r.fail(id, err)
+			return
+		}
+	}
+
+	if id == 0 {
+		acc, loss := evaluate(w.net, r.testDS, o.EvalSamples)
+		r.mu.Lock()
+		r.res.FinalAcc, r.res.FinalLoss = acc, loss
+		r.res.FinalWeights = w.net.WeightVector(nil)
+		r.mu.Unlock()
+	}
+}
+
+// runServe is the switch goroutine: iters rounds of the reduction unit.
+// With fallback armed it self-reports hard evidence (its own transport or
+// protocol giving up) by tripping the gate with zero detection latency; a
+// serve-side stall is evidence against a *port*, not the switch, so it is
+// only surfaced as an anomaly for the post-run merge.
+func (r *switchRun) runServe(tp comm.Peer, serveErr chan<- error) {
+	c := mpi.WorldPeer(tp)
+	c.CollectiveCommComp(r.o.Compress)
+	c.SetFinalize(r.finalize)
+	c.SetStepTimeout(r.o.StepTimeout)
+	for k := 0; k < r.iters; k++ {
+		err := c.SwitchServeCtx(r.exchangeCtx(), r.gradLen, r.swOpt)
+		if err == nil {
+			continue
+		}
+		if r.gate == nil {
+			serveErr <- fmt.Errorf("train: switch iter %d: %w", k, err)
+			r.cancel()
+			return
+		}
+		class, cause := mpi.GradeSwitchFault(err)
+		switch {
+		case r.gate.isTripped() || class == mpi.SwitchFaultUnrelated:
+			// Expected teardown: the fallback is engaged, or the run was
+			// cancelled by a worker's hard fault.
+		case class.Hard():
+			r.gate.trip(k, class, "switch self-report: "+cause, 0)
+		default:
+			// Stall: a port went quiet. Condemning the switch here would
+			// trigger a replay into a ring missing a member; leave the
+			// verdict to the workers and surface the evidence.
+			serveErr <- fmt.Errorf("train: switch iter %d: %w", k, err)
+		}
+		return
+	}
+}
+
+// execute runs the serve goroutine plus all workers over the given
+// transport and assembles the per-run result (traffic totals are the
+// caller's, since they are fabric-specific).
+func (r *switchRun) execute(transport func(id int) (comm.Peer, func())) (Result, error) {
+	serveErr := make(chan error, 1)
+	serveDone := make(chan struct{})
+	swTp, swCleanup := transport(r.swID)
+	go func() {
+		defer close(serveDone)
+		if swCleanup != nil {
+			defer swCleanup()
+		}
+		r.runServe(swTp, serveErr)
+	}()
+
+	var wg sync.WaitGroup
+	for id := 0; id < r.o.Workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			tp, cleanup := transport(id)
+			if cleanup != nil {
+				defer cleanup()
+			}
+			r.runWorker(id, tp)
+		}(id)
+	}
+	wg.Wait()
+
+	// Reap the switch goroutine with a bounded join: cancel its contexts,
+	// then wait. A serve still blocked after that is a leak — reported as
+	// the run's failure rather than silently stranded.
+	if r.gate != nil {
+		r.gate.swCancel()
+	}
+	r.cancel()
+	select {
+	case <-serveDone:
+	case <-time.After(switchJoinTimeout):
+		return Result{}, fmt.Errorf("train: switch goroutine leaked: still serving %s after every worker exited", switchJoinTimeout)
+	}
+
+	firstErr := firstError(r.errs)
+	select {
+	case serr := <-serveErr:
+		// The serve anomaly is the root cause when no worker hit a more
+		// specific fault — unless the fallback engaged, in which case the
+		// switch's errors are the expected symptoms of its death.
+		if (firstErr == nil || errors.Is(firstErr, context.Canceled)) &&
+			(r.gate == nil || !r.gate.isTripped()) {
+			firstErr = serr
+		}
+	default:
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+
+	var res Result
+	r.mu.Lock()
+	iterKeys := make([]int, 0, len(r.evals))
+	for it := range r.evals {
+		iterKeys = append(iterKeys, it)
+	}
+	sort.Ints(iterKeys)
+	for _, it := range iterKeys {
+		res.Evals = append(res.Evals, r.evals[it])
+	}
+	res.FinalAcc, res.FinalLoss = r.res.FinalAcc, r.res.FinalLoss
+	res.FinalWeights = r.res.FinalWeights
+	r.mu.Unlock()
+	res.ComputeSeconds = nsSeconds(r.computeNs)
+	res.CommSeconds = nsSeconds(r.commNs)
+	if r.gate != nil && r.gate.isTripped() {
+		class, cause, _, detect := r.gate.verdict()
+		res.Fallbacks = 1
+		res.FallbackDetectSeconds = detect.Seconds()
+		res.FallbackCause = fmt.Sprintf("%s: %s", class, cause)
+	}
+	return res, nil
+}
+
+// fallbackIter returns the iteration the gate tripped at (or -1), for
+// traffic accounting.
+func (r *switchRun) fallbackIter() int {
+	if r.gate == nil || !r.gate.isTripped() {
+		return -1
+	}
+	_, _, iter, _ := r.gate.verdict()
+	return iter
+}

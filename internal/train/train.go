@@ -17,7 +17,6 @@ import (
 	"inceptionn/internal/data"
 	"inceptionn/internal/fault"
 	"inceptionn/internal/hierarchy"
-	"inceptionn/internal/mpi"
 	"inceptionn/internal/nn"
 	"inceptionn/internal/obs"
 	"inceptionn/internal/opt"
@@ -113,11 +112,23 @@ type Options struct {
 	// aggregation memory (netsim.Params.SwitchMemBytes / 4). 0 streams the
 	// whole gradient as one chunk.
 	SwitchChunk int
+	// SwitchFallback makes SwitchReduce runs self-healing: workers grade
+	// every switch-exchange error with the mpi switch health monitor, and
+	// on a confirmed switch failure (hard transport self-report, or a
+	// stall after the full step deadline) they roll back at most one
+	// iteration from in-memory snapshots and finish the run on the ring
+	// collective — bit-exact with an uninterrupted ring run, since the
+	// switch combine replicates the ring's accumulation order. Requires
+	// StepTimeout > 0 (stall detection needs a deadline). Only the switch
+	// is expendable: a worker casualty still fails the run closed.
+	SwitchFallback bool
 	// Chaos, if non-nil, injects deterministic transport faults (drops,
 	// corruption, duplication, delay, partitions, crashes — see
-	// internal/fault) into RunRingTCP's wire traffic. The fabric's
+	// internal/fault) into the wire traffic of RunRingTCP, RunSwitchTCP,
+	// RunElastic, and the in-process SwitchReduce runner. The fabric's
 	// retransmit protocol repairs recoverable faults transparently;
-	// unrecoverable ones surface as errors from RunRingTCP.
+	// unrecoverable ones surface as errors (or, with SwitchFallback, as a
+	// mid-run fallback when the casualty is the switch).
 	Chaos *fault.Config
 
 	// SuspectAfter enables RunElastic's heartbeat failure detector: a
@@ -210,6 +221,18 @@ type Result struct {
 	// FinalWeights is worker 0's weight vector (all replicas are identical
 	// under the ring algorithm; verified by tests).
 	FinalWeights []float32
+
+	// Fallbacks counts mid-run collective degradations (0 or 1: a
+	// SwitchReduce run falls back to the ring at most once, and never
+	// falls forward again).
+	Fallbacks int
+	// FallbackDetectSeconds is the latency from fault onset (the start of
+	// the exchange that died) to confirmed detection; bounded by the
+	// retry budget for hard evidence and by StepTimeout for stalls.
+	FallbackDetectSeconds float64
+	// FallbackCause is the graded suspect cause ("" when no fallback),
+	// e.g. "stall: switch stream stalled: link up, combine never arrived".
+	FallbackCause string
 }
 
 // Builder constructs a model replica from a seed-derived RNG.
@@ -528,99 +551,33 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 // worker streams its gradient through it chunk by chunk and receives the
 // combined gradient back. The combine is bit-exact with the ring
 // collective, so a SwitchReduce run lands on the same weights as a Ring
-// run (verified by tests).
+// run (verified by tests). With o.SwitchFallback the run survives the
+// switch's death by falling back to the ring mid-training (see
+// switchheal.go); o.Chaos injects deterministic transport faults.
 func runSwitch(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (Result, error) {
+	if o.SwitchFallback && o.StepTimeout <= 0 {
+		return Result{}, fmt.Errorf("train: SwitchFallback requires StepTimeout > 0 (stall detection needs a deadline)")
+	}
 	fabric := comm.NewFabric(o.Workers+1, o.Processor)
 	fabric.SetRecorder(o.Obs)
-	swID := o.Workers
-	swOpt := mpi.SwitchOptions{ChunkFloats: o.SwitchChunk}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var res Result
-	var wg sync.WaitGroup
-	errs := make([]error, o.Workers+1)
-	computeNs := make([]int64, o.Workers)
-	commNs := make([]int64, o.Workers)
-
-	// Switch reduction unit.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		gradLen := build(rand.New(rand.NewSource(o.Seed))).NumParams()
-		c := mpi.World(fabric, swID)
-		c.CollectiveCommComp(o.Compress)
-		c.SetFinalize(o.finalizer())
-		c.SetStepTimeout(o.StepTimeout)
-		for iter := 0; iter < iters; iter++ {
-			if err := c.SwitchServeCtx(ctx, gradLen, swOpt); err != nil {
-				errs[swID] = fmt.Errorf("train: switch iter %d: %w", iter, err)
-				cancel()
-				return
-			}
-		}
-	}()
-
-	for id := 0; id < o.Workers; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			w := newWorker(id, build, trainDS, o)
-			c := mpi.World(fabric, id)
-			c.CollectiveCommComp(o.Compress)
-			c.SetStepTimeout(o.StepTimeout)
-			iterHist := o.Obs.Histogram("train_iter_seconds")
-			lossGauge := o.Obs.Gauge("train_loss")
-			for iter := 0; iter < iters; iter++ {
-				t0 := time.Now()
-				csp := o.Obs.Span(id, iter, obs.PhaseCompute)
-				loss := w.localGradient()
-				o.straggle(id)
-				if o.LocalGradTransform != nil {
-					o.LocalGradTransform(w.grad)
-				}
-				w.applyErrorFeedback(o)
-				csp.End()
-				if id == 0 && o.GradHook != nil {
-					o.GradHook(iter, w.grad)
-				}
-				tc := time.Now()
-				computeNs[id] += tc.Sub(t0).Nanoseconds()
-				xsp := o.Obs.Span(id, iter, obs.PhaseSend)
-				if err := c.AllReduceSwitchCtx(ctx, w.grad, swID, swOpt); err != nil {
-					xsp.End()
-					errs[id] = fmt.Errorf("train: worker %d iter %d: %w", id, iter, err)
-					cancel()
-					return
-				}
-				xsp.End()
-				tx := time.Now()
-				commNs[id] += tx.Sub(tc).Nanoseconds()
-				w.applyAveraged(iter, w.grad, o, o.Workers)
-				computeNs[id] += time.Since(tx).Nanoseconds()
-				if id == 0 {
-					iterHist.Observe(time.Since(t0))
-					lossGauge.Set(loss)
-				}
-				if id == 0 && o.EvalEvery > 0 && ((iter+1)%o.EvalEvery == 0 || iter == iters-1) {
-					acc, loss := evaluate(w.net, testDS, o.EvalSamples)
-					res.Evals = append(res.Evals, EvalPoint{Iter: iter + 1, Accuracy: acc, Loss: loss})
-				}
-			}
-			if id == 0 {
-				acc, loss := evaluate(w.net, testDS, o.EvalSamples)
-				res.FinalAcc, res.FinalLoss = acc, loss
-				res.FinalWeights = w.net.WeightVector(nil)
-			}
-		}(id)
+	var inj *fault.Injector
+	if o.Chaos != nil {
+		inj = fault.NewInjector(o.Workers+1, *o.Chaos)
 	}
-	wg.Wait()
-	if err := firstError(errs); err != nil {
+	r := newSwitchRun(build, trainDS, testDS, iters, o, o.finalizer())
+	defer r.cancel()
+	res, err := r.execute(func(id int) (comm.Peer, func()) {
+		if inj != nil {
+			fp := fault.Wrap(fabric.Endpoint(id), inj, fault.Options{Finalize: o.finalizer()})
+			return fp, fp.Close
+		}
+		return fabric.Endpoint(id), nil
+	})
+	if err != nil {
 		return Result{}, err
 	}
 	res.RawBytes = fabric.TotalRawBytes()
 	res.WireBytes = fabric.TotalWireBytes()
-	res.ComputeSeconds = nsSeconds(computeNs)
-	res.CommSeconds = nsSeconds(commNs)
 	res.StragglerWaitSeconds = fabricRecvWaitSeconds(fabric)
 	return res, nil
 }
