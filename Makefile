@@ -2,7 +2,7 @@
 # the full test suite under the race detector.
 GO ?= go
 
-.PHONY: build test vet race fuzz bench bench3 bench4 bench5 bench7 bench8 benchsmoke chaostest ckptsmoke obssmoke simtest elastictest soaktest ci
+.PHONY: build test vet race fuzz bench bench3 bench4 bench5 bench7 bench8 bench9 benchdiff benchsmoke chaostest ckptsmoke obssmoke healthtest simtest elastictest soaktest ci
 
 # The hot-kernel benchmarks behind the BENCH_2.json speedup report.
 BENCH_PATTERN = BenchmarkMatMul|BenchmarkConvForwardBackward|BenchmarkCodecCompress|BenchmarkCodecDecompress|BenchmarkRingTrainingE2E
@@ -136,6 +136,42 @@ elastictest:
 bench8:
 	$(GO) run ./cmd/incbench -bench8 bench/BENCH_8.json
 
+# Health-engine overhead report: the same end-to-end training run with the
+# recorder attached in both variants, plus the streaming health engine
+# (detectors + flight recorder + poller) in the second. bench/BENCH_9.json
+# fails the build when the engine costs more than 2% wall clock.
+bench9:
+	$(GO) test -run '^$$' -bench 'BenchmarkHealthOverhead' -benchtime 10x -count 1 . | tee bench/bench_health.txt
+	$(GO) run ./cmd/benchjson -multi bench/bench_health.txt \
+		-overhead-off 'BenchmarkHealthOverhead/healthOff' \
+		-overhead-on 'BenchmarkHealthOverhead/healthOn' \
+		-max-overhead-pct 2 -out bench/BENCH_9.json
+
+# Bench regression gate: re-measure the health-overhead pair and diff the
+# fresh report against the checked-in bench/BENCH_9.json baseline; any
+# shared benchmark regressing beyond MAX_REGRESS (fractional) fails CI.
+# Widen the bound (e.g. MAX_REGRESS=0.35) on noisy shared hardware.
+MAX_REGRESS ?= 0.10
+benchdiff:
+	$(GO) test -run '^$$' -bench 'BenchmarkHealthOverhead' -benchtime 10x -count 1 . | tee bench/bench_health_ci.txt
+	$(GO) run ./cmd/benchjson -multi bench/bench_health_ci.txt \
+		-overhead-off 'BenchmarkHealthOverhead/healthOff' \
+		-overhead-on 'BenchmarkHealthOverhead/healthOn' \
+		-out bench/BENCH_9_ci.json
+	$(GO) run ./cmd/benchjson -diff -max-regress $(MAX_REGRESS) bench/BENCH_9.json bench/BENCH_9_ci.json
+
+# Health-engine gate: the streaming detectors' seeded incident-injection
+# suite under the race detector (stragglers, degraded links, counter
+# bursts, fallback/eviction pushes, flight-recorder round trips) plus the
+# end-to-end runner wiring tests (injected straggler and switch stall each
+# open exactly one correctly-blamed incident; a clean run opens none).
+# The end-to-end runs stay off -race: like the existing blame acceptance
+# test, their ≥90%-attribution bounds measure real scheduling gaps that
+# the race detector's 10-20x timing distortion swamps.
+healthtest:
+	$(GO) test -race ./internal/obs/health -count=1
+	$(GO) test ./internal/train -run 'TestHealth' -count=1 -timeout 10m
+
 # Randomized chaos soak, under the race detector: 20 seeded trials of
 # switch kills, mid-stream partitions, lossy links, and worker crashes
 # against the self-healing switch runner (in-process and TCP) and the
@@ -149,4 +185,4 @@ soaktest:
 	$(GO) test -race -timeout 30m ./internal/soak -run 'TestSoak$$' -count=1 -v \
 		-soak-trials=$(SOAK_TRIALS) -soak-seed=$(SOAK_SEED) -soak-budget=20m
 
-ci: vet simtest chaostest ckptsmoke obssmoke elastictest soaktest race benchsmoke
+ci: vet simtest chaostest ckptsmoke obssmoke healthtest elastictest soaktest race benchsmoke benchdiff

@@ -18,6 +18,13 @@
 //
 //	benchjson -multi obs.txt -overhead-off 'BenchmarkObsOverhead/recorderOff' \
 //	    -overhead-on 'BenchmarkObsOverhead/recorderOn' -out BENCH_4.json
+//
+// Diff mode compares two reports this tool previously wrote (either the
+// plain entry-list shape or an OverheadReport) and fails when any shared
+// benchmark regressed beyond the bound, which is how `make benchdiff`
+// gates CI against the checked-in bench/ baselines:
+//
+//	benchjson -diff -max-regress 0.10 bench/BENCH_9.json new.json
 package main
 
 import (
@@ -104,6 +111,95 @@ type OverheadReport struct {
 	Benchmarks      []Entry `json:"benchmarks"`
 }
 
+// readReport loads a JSON report this tool wrote, accepting both the
+// plain []Entry shape and the OverheadReport wrapper, keyed by name.
+func readReport(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		var rep OverheadReport
+		if err2 := json.Unmarshal(data, &rep); err2 != nil {
+			return nil, fmt.Errorf("%s: neither an entry list (%v) nor an overhead report (%v)", path, err, err2)
+		}
+		entries = rep.Benchmarks
+	}
+	out := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		out[e.Name] = e
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return out, nil
+}
+
+// runDiff compares a new report against a baseline. A benchmark regresses
+// when its ns/op grew — or its MB/s shrank — by more than maxRegress
+// (fractional: 0.10 = 10%). Benchmarks present in only one report are
+// listed but never fail the diff, so adding or retiring benchmarks does
+// not break the gate.
+func runDiff(oldPath, newPath string, maxRegress float64) error {
+	oldRes, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		names = append(names, name)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+
+	shared, regressed := 0, 0
+	for _, name := range names {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			fmt.Printf("  %-44s only in %s\n", name, oldPath)
+			continue
+		}
+		shared++
+		var notes []string
+		if o.NsPerOp > 0 && n.NsPerOp > o.NsPerOp*(1+maxRegress) {
+			regressed++
+			notes = append(notes, fmt.Sprintf("ns/op %+.1f%% REGRESSED", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp))
+		} else if o.NsPerOp > 0 {
+			notes = append(notes, fmt.Sprintf("ns/op %+.1f%%", 100*(n.NsPerOp-o.NsPerOp)/o.NsPerOp))
+		}
+		if o.MBPerSec > 0 && n.MBPerSec < o.MBPerSec*(1-maxRegress) {
+			regressed++
+			notes = append(notes, fmt.Sprintf("MB/s %+.1f%% REGRESSED", 100*(n.MBPerSec-o.MBPerSec)/o.MBPerSec))
+		} else if o.MBPerSec > 0 {
+			notes = append(notes, fmt.Sprintf("MB/s %+.1f%%", 100*(n.MBPerSec-o.MBPerSec)/o.MBPerSec))
+		}
+		fmt.Printf("  %-44s %s\n", name, strings.Join(notes, "  "))
+	}
+	for name := range newRes {
+		if _, ok := oldRes[name]; !ok {
+			fmt.Printf("  %-44s only in %s\n", name, newPath)
+		}
+	}
+	if shared == 0 {
+		return fmt.Errorf("no shared benchmarks between %s and %s", oldPath, newPath)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d metric(s) regressed beyond the %.0f%% bound", regressed, 100*maxRegress)
+	}
+	fmt.Printf("benchdiff: %d shared benchmark(s) within the %.0f%% bound\n", shared, 100*maxRegress)
+	return nil
+}
+
 func run() error {
 	single := flag.String("single", "", "bench output captured with GOMAXPROCS=1 (optional)")
 	multi := flag.String("multi", "", "bench output captured with default GOMAXPROCS (required)")
@@ -112,7 +208,15 @@ func run() error {
 	overheadOn := flag.String("overhead-on", "", "overhead mode: instrumented benchmark name in -multi")
 	maxOverhead := flag.Float64("max-overhead-pct", 0, "overhead mode: fail when overhead_pct exceeds this bound (0 = no bound)")
 	minMBPerS := flag.String("min-mb-per-s", "", "throughput gate: comma-separated name:value pairs; fail when a named benchmark reports less MB/s")
+	diff := flag.Bool("diff", false, "diff mode: compare two JSON reports (old new) and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.10, "diff mode: fractional per-benchmark regression bound (0.10 = 10%)")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-diff wants exactly two reports: benchjson -diff [-max-regress 0.10] old.json new.json")
+		}
+		return runDiff(flag.Arg(0), flag.Arg(1), *maxRegress)
+	}
 	if *multi == "" {
 		return fmt.Errorf("-multi is required")
 	}

@@ -34,6 +34,7 @@ import (
 	"inceptionn/internal/models"
 	"inceptionn/internal/nic"
 	"inceptionn/internal/obs"
+	"inceptionn/internal/obs/health"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/train"
 )
@@ -131,6 +132,9 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final /metrics JSON snapshot to this file when the run ends")
 	traceCap := flag.Int("trace-cap", 1<<16, "step tracer ring-buffer capacity (spans; oldest overwritten)")
 	straggle := flag.String("straggle", "", "inject per-iteration compute delay on nodes, e.g. \"2:5ms\" or \"0:1ms,3:10ms\" (validates `inctrace blame`)")
+	healthOn := flag.Bool("health", false, "run the online health engine: streaming straggler/link/transport anomaly detection with typed incidents (serves /health when -metrics-addr is set)")
+	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "health engine poll interval for the counter/gauge detectors")
+	blackboxDir := flag.String("blackbox-dir", "", "write a flight-recorder black-box JSONL dump into this directory whenever an incident opens (implies -health; replay with `inctrace incidents -replay` or `inctrace blame`)")
 	flag.Parse()
 
 	build, ok := models.Builders[*model]
@@ -181,9 +185,14 @@ func main() {
 	// counters. Created before the processor so the engines get the
 	// recorder. Leaving every obs flag unset keeps o.Obs nil and the hot
 	// paths free of even a clock read.
+	if *blackboxDir != "" {
+		*healthOn = true
+	}
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metricsAddr != "" || *traceOut != "" || *traceDir != "" || *metricsOut != "" {
+	// -health needs the recorder even when no trace/metrics output was
+	// asked for: its detectors read the registry and the span ring.
+	if *metricsAddr != "" || *traceOut != "" || *traceDir != "" || *metricsOut != "" || *healthOn {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(*traceCap)
 		reg.Func("fpcodec_values_compressed", func() float64 {
@@ -195,6 +204,21 @@ func main() {
 			return float64(b)
 		})
 		o.Obs = obs.NewRecorder(reg, tracer)
+	}
+
+	// The health engine subscribes to the recorder and runs its polled
+	// detectors in the background; runners push step completions and
+	// self-healing events into it through o.Health.
+	var engine *health.Engine
+	if *healthOn {
+		engine = health.New(o.Obs, health.Options{BlackboxDir: *blackboxDir})
+		engine.Start(*healthInterval)
+		o.Health = engine
+		if *blackboxDir != "" {
+			fmt.Printf("health: engine on (poll %s), black-box dumps -> %s\n", *healthInterval, *blackboxDir)
+		} else {
+			fmt.Printf("health: engine on (poll %s)\n", *healthInterval)
+		}
 	}
 
 	if *compress {
@@ -266,18 +290,35 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
-		addr, serr := obs.Serve(*metricsAddr, reg, tracer)
+		var extra []obs.Mount
+		if engine != nil {
+			extra = append(extra, obs.Mount{Pattern: "/health", Handler: engine.Handler()})
+		}
+		addr, serr := obs.Serve(*metricsAddr, reg, tracer, extra...)
 		if serr != nil {
 			fmt.Fprintln(os.Stderr, "inctrain:", serr)
 			os.Exit(2)
 		}
 		fmt.Printf("observability: http://%s/metrics (JSON, ?format=prom), /trace (JSONL), /clock, /debug/pprof\n", addr)
+		if engine != nil {
+			fmt.Printf("health: http://%s/health (JSON, ?format=prom)\n", addr)
+		}
 	}
 
 	// flushObs persists the span ring buffer (whole-run file and/or
-	// per-node split) and the final metrics snapshot; called on every exit
-	// path that has training work behind it, including SIGINT.
+	// per-node split) and the final metrics snapshot, and settles the
+	// health engine (final detector pass + incident report); called on
+	// every exit path that has training work behind it, including SIGINT.
 	flushObs := func() {
+		if engine != nil {
+			engine.Close() // idempotent: analyzes the tail, runs a last poll
+			if incs := engine.Incidents(); len(incs) > 0 {
+				fmt.Printf("health: %d incident(s):\n", len(incs))
+				health.RenderIncidents(os.Stdout, incs)
+			} else {
+				fmt.Println("health: no incidents")
+			}
+		}
 		if tracer != nil && *traceOut != "" {
 			f, ferr := os.Create(*traceOut)
 			if ferr == nil {

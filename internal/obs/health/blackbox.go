@@ -1,0 +1,194 @@
+package health
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"inceptionn/internal/obs"
+)
+
+// The black-box dump is a JSONL file in the trace format plus auxiliary
+// lines, so it replays through every existing span consumer unchanged:
+//
+//	{"trace_meta":1,"node":-1,"epoch_unix_ns":...,"source":"blackbox"}
+//	{"blackbox":1,"kind":"incident","incident":{...}}
+//	{"blackbox":1,"kind":"metrics","unix_ns":...,"metrics":{...}}
+//	{"node":0,"iter":12,"phase":"recv","start_ns":...,"dur_ns":...}
+//	...
+//
+// obs.ReadTrace skips the "blackbox"-keyed lines the same way it skips
+// the meta header, so `inctrace blame <dump>` and `inctrace breakdown
+// <dump>` work on a dump file directly; ReadDump parses the full
+// document including incidents and metric snapshots.
+
+// auxLine is one non-span line of a dump. The "blackbox" key doubles as
+// the marker that tells span readers to skip the line.
+type auxLine struct {
+	Blackbox int                    `json:"blackbox"`
+	Kind     string                 `json:"kind"`
+	UnixNs   int64                  `json:"unix_ns,omitempty"`
+	Incident *Incident              `json:"incident,omitempty"`
+	Metrics  map[string]interface{} `json:"metrics,omitempty"`
+}
+
+// metricSnap is one retained point-in-time registry snapshot.
+type metricSnap struct {
+	UnixNs  int64
+	Metrics map[string]interface{}
+}
+
+// flightRecorder is the always-on pre-incident evidence buffer: a
+// bounded ring of full-fidelity spans plus the last few metric
+// snapshots. It costs a fixed amount of memory no matter how long the
+// run; the expensive serialization happens only when an incident dumps.
+type flightRecorder struct {
+	spanBuf  []obs.Span
+	spanNext int
+	snaps    []metricSnap
+	maxSnaps int
+}
+
+func newFlightRecorder(spanCap, snapCap int) *flightRecorder {
+	if spanCap < 1 {
+		spanCap = 1
+	}
+	if snapCap < 1 {
+		snapCap = 1
+	}
+	return &flightRecorder{spanBuf: make([]obs.Span, 0, spanCap), maxSnaps: snapCap}
+}
+
+func (f *flightRecorder) addSpan(s obs.Span) {
+	if len(f.spanBuf) < cap(f.spanBuf) {
+		f.spanBuf = append(f.spanBuf, s)
+	} else {
+		f.spanBuf[f.spanNext] = s
+	}
+	f.spanNext = (f.spanNext + 1) % cap(f.spanBuf)
+}
+
+// spans returns the retained spans oldest-first.
+func (f *flightRecorder) spans() []obs.Span {
+	out := make([]obs.Span, 0, len(f.spanBuf))
+	if len(f.spanBuf) == cap(f.spanBuf) {
+		out = append(out, f.spanBuf[f.spanNext:]...)
+	}
+	out = append(out, f.spanBuf[:f.spanNext]...)
+	return out
+}
+
+func (f *flightRecorder) addSnap(unixNs int64, m map[string]interface{}) {
+	f.snaps = append(f.snaps, metricSnap{UnixNs: unixNs, Metrics: m})
+	if len(f.snaps) > f.maxSnaps {
+		f.snaps = f.snaps[len(f.snaps)-f.maxSnaps:]
+	}
+}
+
+func (f *flightRecorder) snapshots() []metricSnap {
+	return append([]metricSnap(nil), f.snaps...)
+}
+
+// writeDump serializes one black-box document to path.
+func writeDump(path string, meta obs.TraceMeta, inc Incident, snaps []metricSnap, spans []obs.Span) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(file)
+	enc := json.NewEncoder(bw)
+	err = enc.Encode(meta)
+	if err == nil {
+		err = enc.Encode(auxLine{Blackbox: 1, Kind: "incident", UnixNs: inc.OpenedNs, Incident: &inc})
+	}
+	for _, s := range snaps {
+		if err != nil {
+			break
+		}
+		err = enc.Encode(auxLine{Blackbox: 1, Kind: "metrics", UnixNs: s.UnixNs, Metrics: s.Metrics})
+	}
+	for _, s := range spans {
+		if err != nil {
+			break
+		}
+		err = enc.Encode(s)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Dump is a parsed black-box file.
+type Dump struct {
+	Metas     []obs.TraceMeta
+	Incidents []Incident
+	Snapshots []metricSnap
+	Spans     []obs.Span
+}
+
+var (
+	bbMarker   = []byte(`"blackbox"`)
+	metaMarker = []byte(`"trace_meta"`)
+)
+
+// ReadDump parses a black-box JSONL stream.
+func ReadDump(r io.Reader) (*Dump, error) {
+	d := &Dump{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		if bytes.Contains(b, metaMarker) {
+			var m obs.TraceMeta
+			if err := json.Unmarshal(b, &m); err == nil && m.Version != 0 {
+				d.Metas = append(d.Metas, m)
+				continue
+			}
+		}
+		if bytes.Contains(b, bbMarker) {
+			var aux auxLine
+			if err := json.Unmarshal(b, &aux); err == nil && aux.Blackbox != 0 {
+				switch aux.Kind {
+				case "incident":
+					if aux.Incident != nil {
+						d.Incidents = append(d.Incidents, *aux.Incident)
+					}
+				case "metrics":
+					d.Snapshots = append(d.Snapshots, metricSnap{UnixNs: aux.UnixNs, Metrics: aux.Metrics})
+				}
+				continue
+			}
+		}
+		var s obs.Span
+		if err := json.Unmarshal(b, &s); err != nil {
+			return nil, fmt.Errorf("health: blackbox line %d: %w", line, err)
+		}
+		d.Spans = append(d.Spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ReadDumpFile parses the black-box file at path.
+func ReadDumpFile(path string) (*Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDump(f)
+}

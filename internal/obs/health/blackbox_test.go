@@ -1,0 +1,148 @@
+package health
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"inceptionn/internal/obs"
+)
+
+// buildStragglerEngine drives a synthetic 4-node synchronous cohort with
+// node 2 straggling, over a real recorder so the flight recorder fills
+// with spans, and returns the engine after Close. Wall clocks are
+// uniform (the collective equalizes them); the evidence is in the spans:
+// the straggler's compute runs 25ms longer, and the recv waits show the
+// inversion (the straggler waits least).
+func buildStragglerEngine(t *testing.T, dir string) (*Engine, *obs.Tracer) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(1 << 12)
+	rec := obs.NewRecorder(reg, tr)
+	o := testOptions()
+	o.BlackboxDir = dir
+	e := New(rec, o)
+	base := 10 * time.Millisecond
+	step := base + 25*time.Millisecond
+	for it := 0; it < 20; it++ {
+		start := int64(it) * int64(40*time.Millisecond)
+		for n := 0; n < 4; n++ {
+			extra := int64(0)
+			if n == 2 {
+				extra = int64(25 * time.Millisecond)
+			}
+			tr.RecordRaw(n, it, obs.PhaseCompute, start, int64(base)+extra)
+			wait := int64(25 * time.Millisecond)
+			if n == 2 {
+				wait = int64(time.Millisecond)
+			}
+			tr.RecordRaw(n, it, obs.PhaseRecv, start+int64(base)+extra, wait)
+		}
+		feedIter(e, it, map[int]time.Duration{0: step, 1: step, 2: step, 3: step})
+	}
+	e.Close()
+	return e, tr
+}
+
+func TestBlackboxDumpRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := buildStragglerEngine(t, dir)
+
+	incs := e.Incidents()
+	var straggler *Incident
+	for i := range incs {
+		if incs[i].Detector == "straggler" {
+			straggler = &incs[i]
+		}
+	}
+	if straggler == nil {
+		t.Fatalf("no straggler incident: %+v", incs)
+	}
+	if straggler.Node != 2 {
+		t.Fatalf("straggler blamed node %d, want 2 (%+v)", straggler.Node, straggler)
+	}
+	if straggler.Blackbox == "" {
+		t.Fatal("incident carries no blackbox path")
+	}
+
+	// The dump parses fully: meta, the incident, metric snapshots, spans.
+	d, err := ReadDumpFile(straggler.Blackbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Metas) != 1 || d.Metas[0].Source != "blackbox" {
+		t.Fatalf("metas = %+v, want one blackbox meta", d.Metas)
+	}
+	if len(d.Incidents) != 1 || d.Incidents[0].Detector != "straggler" {
+		t.Fatalf("dump incidents = %+v", d.Incidents)
+	}
+	if len(d.Snapshots) == 0 {
+		t.Fatal("dump carries no metric snapshots")
+	}
+	if _, ok := d.Snapshots[len(d.Snapshots)-1].Metrics["health_incidents_total"]; !ok {
+		t.Fatalf("dump-time snapshot missing engine metrics: %v", d.Snapshots[len(d.Snapshots)-1].Metrics)
+	}
+	if len(d.Spans) == 0 {
+		t.Fatal("dump carries no spans")
+	}
+
+	// The same file replays through the plain trace reader — aux lines
+	// skipped — and critical-path attribution blames the injected
+	// straggler, exactly what `inctrace blame <dump>` runs.
+	spans, metas, err := readTraceFile(straggler.Blackbox)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || len(spans) != len(d.Spans) {
+		t.Fatalf("ReadTrace: %d metas %d spans, want 1 and %d", len(metas), len(spans), len(d.Spans))
+	}
+	r := obs.AttributeCriticalPath(spans, 2*time.Millisecond)
+	node, share := r.Gating()
+	if node != 2 || share < 0.9 {
+		t.Fatalf("dump replay blames node %d share %.2f, want node 2 ≥ 0.9", node, share)
+	}
+}
+
+func readTraceFile(path string) ([]obs.Span, []obs.TraceMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return obs.ReadTrace(f)
+}
+
+func TestOneDumpPerIncident(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(reg, obs.NewTracer(256))
+	o := testOptions()
+	o.BlackboxDir = dir
+	e := New(rec, o)
+	e.NotifyFallback(4, 3, "stall", time.Second)
+	e.Poll()
+	e.Close()
+	files, err := filepath.Glob(filepath.Join(dir, "blackbox-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 {
+		t.Fatalf("dumps = %v, want exactly 1", files)
+	}
+}
+
+func TestFlightRecorderBounds(t *testing.T) {
+	f := newFlightRecorder(4, 2)
+	for i := 0; i < 10; i++ {
+		f.addSpan(obs.Span{Iter: i})
+		f.addSnap(int64(i), map[string]interface{}{"i": i})
+	}
+	spans := f.spans()
+	if len(spans) != 4 || spans[0].Iter != 6 || spans[3].Iter != 9 {
+		t.Fatalf("span ring = %+v, want iters 6..9", spans)
+	}
+	if snaps := f.snapshots(); len(snaps) != 2 || snaps[1].UnixNs != 9 {
+		t.Fatalf("snaps = %+v, want the last 2", f.snapshots())
+	}
+}

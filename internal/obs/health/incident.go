@@ -1,0 +1,120 @@
+package health
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"inceptionn/internal/obs"
+)
+
+// Severity grades an incident: info (worth a look), warn (degradation),
+// critical (a component failed).
+type Severity uint8
+
+// Severity levels, ascending.
+const (
+	SevInfo Severity = iota
+	SevWarn
+	SevCritical
+)
+
+var sevNames = [...]string{"info", "warn", "critical"}
+
+// String returns the severity's wire name.
+func (s Severity) String() string {
+	if int(s) < len(sevNames) {
+		return sevNames[s]
+	}
+	return fmt.Sprintf("severity(%d)", uint8(s))
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	if len(b) < 2 || b[0] != '"' || b[len(b)-1] != '"' {
+		return fmt.Errorf("health: invalid severity %s", b)
+	}
+	name := string(b[1 : len(b)-1])
+	for i, n := range sevNames {
+		if n == name {
+			*s = Severity(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("health: unknown severity %q", name)
+}
+
+// Incident is one typed anomaly record: which detector fired, which
+// node and phase are blamed, over which iteration window, and the
+// evidence (observed value vs baseline, robust score, the black-box
+// dump path when flight recording is on). ClosedNs is zero while the
+// anomaly persists; point events carry ClosedNs == OpenedNs.
+type Incident struct {
+	ID       int      `json:"id"`
+	Detector string   `json:"detector"`
+	Severity Severity `json:"severity"`
+	// Node is the blamed component (a logical switch id for fallbacks),
+	// or -1 when the anomaly is not attributable to one node.
+	Node  int       `json:"node"`
+	Phase obs.Phase `json:"phase"`
+	// IterLo..IterHi is the iteration window the evidence covers.
+	IterLo   int     `json:"iter_lo"`
+	IterHi   int     `json:"iter_hi"`
+	OpenedNs int64   `json:"opened_unix_ns"`
+	ClosedNs int64   `json:"closed_unix_ns,omitempty"`
+	Value    float64 `json:"value,omitempty"`
+	Baseline float64 `json:"baseline,omitempty"`
+	Score    float64 `json:"score,omitempty"`
+	Cause    string  `json:"cause"`
+	Blackbox string  `json:"blackbox,omitempty"`
+}
+
+// OpenFor returns how long the incident has been (or was) open.
+func (i Incident) OpenFor(now time.Time) time.Duration {
+	end := i.ClosedNs
+	if end == 0 {
+		end = now.UnixNano()
+	}
+	d := time.Duration(end - i.OpenedNs)
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// RenderIncidents writes the incident table, oldest first: the timeline
+// view `inctrace incidents` and inctrain's end-of-run report share.
+func RenderIncidents(w io.Writer, incs []Incident) {
+	if len(incs) == 0 {
+		fmt.Fprintln(w, "no incidents")
+		return
+	}
+	sorted := append([]Incident(nil), incs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].OpenedNs < sorted[b].OpenedNs })
+	epoch := sorted[0].OpenedNs
+	now := time.Now()
+	fmt.Fprintf(w, "%-4s %-18s %-8s %5s %-10s %-11s %9s %9s  %s\n",
+		"id", "detector", "sev", "node", "phase", "iters", "t+", "open", "cause")
+	for _, inc := range sorted {
+		state := inc.OpenFor(now).Round(time.Millisecond).String()
+		if inc.ClosedNs == 0 {
+			state += "+"
+		}
+		iters := fmt.Sprintf("%d..%d", inc.IterLo, inc.IterHi)
+		if inc.IterLo == inc.IterHi {
+			iters = fmt.Sprintf("%d", inc.IterLo)
+		}
+		fmt.Fprintf(w, "%-4d %-18s %-8s %5d %-10s %-11s %8.3fs %9s  %s\n",
+			inc.ID, inc.Detector, inc.Severity, inc.Node, inc.Phase,
+			iters, float64(inc.OpenedNs-epoch)/1e9, state, inc.Cause)
+		if inc.Blackbox != "" {
+			fmt.Fprintf(w, "     blackbox: %s\n", inc.Blackbox)
+		}
+	}
+}

@@ -32,6 +32,12 @@ type TraceMeta struct {
 // metaMarker identifies a meta line without a full JSON parse.
 var metaMarker = []byte(`"trace_meta"`)
 
+// blackboxMarker identifies an auxiliary line written by the health
+// flight recorder (incident records, metric snapshots) embedded in a
+// black-box dump. ReadTrace skips such lines so a dump replays through
+// the span-based reports unchanged.
+var blackboxMarker = []byte(`"blackbox"`)
+
 // Tracer records phase spans into a bounded ring buffer: once capacity
 // is reached the oldest spans are overwritten, so a tracer's memory is
 // fixed no matter how long the run. Span timestamps are nanoseconds
@@ -123,12 +129,50 @@ func (t *Tracer) Snapshot() []Span {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+func (t *Tracer) snapshotLocked() []Span {
 	out := make([]Span, 0, len(t.buf))
 	if len(t.buf) == cap(t.buf) {
 		out = append(out, t.buf[t.next:]...)
 	}
 	out = append(out, t.buf[:t.next]...)
 	return out
+}
+
+// TailSince returns the spans recorded after the cursor (a Total value
+// from a previous call, or 0 for "from the beginning") along with the
+// new cursor. If the ring has already evicted some of those spans only
+// the retained tail is returned — callers polling faster than the ring
+// wraps see every span exactly once.
+func (t *Tracer) TailSince(cursor int64) ([]Span, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	missed := t.total - cursor
+	if missed <= 0 {
+		return nil, t.total
+	}
+	n := missed
+	if n > int64(len(t.buf)) {
+		n = int64(len(t.buf))
+	}
+	// Copy only the n newest spans (the slot before t.next is the
+	// newest): a frequent poller must not pay a full-ring snapshot —
+	// with the ring warm that would memcpy the whole capacity under the
+	// lock on every drain, stalling concurrent RecordRaw callers.
+	out := make([]Span, 0, n)
+	start := int64(t.next) - n
+	if start >= 0 {
+		out = append(out, t.buf[start:int64(t.next)]...)
+	} else {
+		out = append(out, t.buf[int64(len(t.buf))+start:]...)
+		out = append(out, t.buf[:t.next]...)
+	}
+	return out, t.total
 }
 
 // WriteJSONL streams the trace to w — a leading TraceMeta line anchoring
@@ -197,6 +241,14 @@ func ReadTrace(r io.Reader) ([]Span, []TraceMeta, error) {
 			var m TraceMeta
 			if err := json.Unmarshal(b, &m); err == nil && m.Version != 0 {
 				metas = append(metas, m)
+				continue
+			}
+		}
+		if bytes.Contains(b, blackboxMarker) {
+			var aux struct {
+				Version int `json:"blackbox"`
+			}
+			if err := json.Unmarshal(b, &aux); err == nil && aux.Version != 0 {
 				continue
 			}
 		}

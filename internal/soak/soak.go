@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"inceptionn/internal/data"
@@ -22,6 +24,8 @@ import (
 	"inceptionn/internal/fpcodec"
 	"inceptionn/internal/models"
 	"inceptionn/internal/mpi"
+	"inceptionn/internal/obs"
+	"inceptionn/internal/obs/health"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/train"
 )
@@ -119,8 +123,11 @@ func finiteWeights(w []float32) error {
 
 // healedSwitchRun runs the in-process self-healing switch runner under
 // the given chaos and checks the healed result against the ring
-// reference.
-func (h *harness) healedSwitchRun(cfg *fault.Config, wantFallback bool) (int, string, error) {
+// reference. With withHealth set, a streaming health engine rides along
+// and the trial additionally asserts the incident contract: every
+// confirmed fallback surfaced as exactly one critical "fallback"
+// incident naming the switch, each with its own black-box dump on disk.
+func (h *harness) healedSwitchRun(cfg *fault.Config, wantFallback, withHealth bool) (int, string, error) {
 	ref, err := h.ring()
 	if err != nil {
 		return 0, "", err
@@ -130,6 +137,27 @@ func (h *harness) healedSwitchRun(cfg *fault.Config, wantFallback bool) (int, st
 	o.SwitchFallback = true
 	o.StepTimeout = 2 * time.Second
 	o.Chaos = cfg
+
+	var eng *health.Engine
+	var dumpDir string
+	if withHealth {
+		dumpDir, err = os.MkdirTemp("", "soak-blackbox-")
+		if err != nil {
+			return 0, "", fmt.Errorf("blackbox dir: %w", err)
+		}
+		defer os.RemoveAll(dumpDir)
+		o.Obs = obs.NewRecorder(obs.NewRegistry(), obs.NewTracer(1<<14))
+		// Short warmup/strike windows suit the 8-iteration trial; the
+		// 10ms step gate keeps loopback jitter from paging.
+		eng = health.New(o.Obs, health.Options{
+			Warmup:      2,
+			Consecutive: 2,
+			MinStepGap:  10 * time.Millisecond,
+			BlackboxDir: dumpDir,
+		})
+		o.Health = eng
+	}
+
 	res, err := train.Run(models.NewHDCSmall, h.trainDS, h.testDS, soakIters, o)
 	if err != nil {
 		return 0, "", fmt.Errorf("healed run failed: %w", err)
@@ -140,7 +168,55 @@ func (h *harness) healedSwitchRun(cfg *fault.Config, wantFallback bool) (int, st
 	if !wantFallback && res.Fallbacks != 0 {
 		return res.Fallbacks, res.FallbackCause, fmt.Errorf("spurious fallback: %s", res.FallbackCause)
 	}
+	if withHealth {
+		eng.Close()
+		if err := checkFallbackIncidents(eng, dumpDir, res.Fallbacks); err != nil {
+			return res.Fallbacks, res.FallbackCause, err
+		}
+	}
 	return res.Fallbacks, res.FallbackCause, bitExact(res.FinalWeights, ref.FinalWeights)
+}
+
+// checkFallbackIncidents asserts the health contract after a healed
+// switch run: one critical fallback incident per confirmed fallback,
+// each naming the switch, and exactly one black-box dump per opened
+// incident.
+func checkFallbackIncidents(eng *health.Engine, dumpDir string, fallbacks int) error {
+	incs := eng.Incidents()
+	var fb []health.Incident
+	for _, inc := range incs {
+		if inc.Detector == "fallback" {
+			fb = append(fb, inc)
+		}
+	}
+	if len(fb) != fallbacks {
+		return fmt.Errorf("health engine opened %d fallback incident(s) for %d confirmed fallback(s): %+v", len(fb), fallbacks, incs)
+	}
+	seen := map[string]bool{}
+	for _, inc := range fb {
+		if inc.Node != soakSwitch {
+			return fmt.Errorf("fallback incident blames node %d, want the switch (%d)", inc.Node, soakSwitch)
+		}
+		if inc.Blackbox == "" {
+			return fmt.Errorf("fallback incident carries no black-box dump path")
+		}
+		if seen[inc.Blackbox] {
+			return fmt.Errorf("two incidents share dump %s", inc.Blackbox)
+		}
+		seen[inc.Blackbox] = true
+		if _, err := os.Stat(inc.Blackbox); err != nil {
+			return fmt.Errorf("black-box dump missing: %w", err)
+		}
+	}
+	// One dump per opened incident, no extras and no misses.
+	dumps, err := filepath.Glob(filepath.Join(dumpDir, "blackbox-*.jsonl"))
+	if err != nil {
+		return err
+	}
+	if len(dumps) != len(incs) {
+		return fmt.Errorf("%d dump file(s) for %d incident(s): %v", len(dumps), len(incs), dumps)
+	}
+	return nil
 }
 
 // trialKinds enumerates the scenario generators; trials cycle through
@@ -152,12 +228,17 @@ var trialKinds = []struct {
 	{"switch-kill", func(h *harness, rng *rand.Rand) (string, int, error) {
 		// The switch multicasts soakSwitch frames per iteration; crashing
 		// anywhere before the last iteration's multicast guarantees a trip.
+		// A health engine rides along: the confirmed fallback must surface
+		// as exactly one incident with exactly one black-box dump. (The
+		// partition trial skips the engine: its surviving worker stays
+		// genuinely degraded post-fallback, which correctly opens a second
+		// straggler incident and would make an exact count flaky.)
 		frame := uint64(2 + rng.Intn(soakSwitch*(soakIters-2)))
 		desc := fmt.Sprintf("switch crash after %d frames", frame)
 		fb, cause, err := h.healedSwitchRun(&fault.Config{
 			Seed:       rng.Int63(),
 			CrashAfter: map[int]uint64{soakSwitch: frame},
-		}, true)
+		}, true, true)
 		return desc + " → " + cause, fb, err
 	}},
 	{"switch-partition", func(h *harness, rng *rand.Rand) (string, int, error) {
@@ -175,7 +256,7 @@ var trialKinds = []struct {
 		fb, cause, err := h.healedSwitchRun(&fault.Config{
 			Seed:  rng.Int63(),
 			Links: map[fault.Link]fault.LinkFaults{link: fault.Partition(frame)},
-		}, true)
+		}, true, false)
 		return desc + " → " + cause, fb, err
 	}},
 	{"switch-lossy", func(h *harness, rng *rand.Rand) (string, int, error) {

@@ -533,6 +533,7 @@ func (r *elasticRun) worker(ctx context.Context, id int, build Builder, trainDS 
 			w.applyAveraged(iter, w.grad, o, len(view.Members))
 			r.computeNs[id] += time.Since(ta).Nanoseconds()
 			pending = false
+			o.Health.ObserveStep(id, iter, time.Since(passStart))
 			if id == view.Leader() {
 				iterHist.Observe(time.Since(passStart))
 				lossGauge.Set(lastLoss)

@@ -29,6 +29,7 @@ import (
 	"inceptionn/internal/fault"
 	"inceptionn/internal/mpi"
 	"inceptionn/internal/obs"
+	"inceptionn/internal/obs/health"
 	"inceptionn/internal/ring"
 )
 
@@ -125,6 +126,7 @@ type fallbackGate struct {
 	workers int
 	swID    int
 	rec     *obs.Recorder
+	health  *health.Engine
 
 	// swCtx scopes every switch-path operation (worker exchanges and the
 	// serve loop); tripping the gate cancels it, aborting the abandoned
@@ -148,11 +150,12 @@ type fallbackGate struct {
 	allDone chan struct{}
 }
 
-func newFallbackGate(runCtx context.Context, workers, swID int, rec *obs.Recorder) *fallbackGate {
+func newFallbackGate(runCtx context.Context, workers, swID int, rec *obs.Recorder, he *health.Engine) *fallbackGate {
 	g := &fallbackGate{
 		workers:    workers,
 		swID:       swID,
 		rec:        rec,
+		health:     he,
 		trippedCh:  make(chan struct{}),
 		contrib:    make(map[int]int, workers),
 		resolvedCh: make(chan struct{}),
@@ -190,6 +193,9 @@ func (g *fallbackGate) trip(iter int, class mpi.SwitchFaultClass, cause string, 
 	// recv waits are evidence of the failure, not of a slow neighbor —
 	// critical-path attribution treats it as an override.
 	g.rec.RecordSpan(g.swID, iter, obs.PhaseFallback, time.Now().Add(-detect), detect)
+	// After the counter and span, so the engine's pre-dump span pull sees
+	// the fallback evidence it is about to dump.
+	g.health.NotifyFallback(g.swID, iter, cause, detect)
 }
 
 // verdict returns the trip facts (valid once tripped).
@@ -297,7 +303,7 @@ func newSwitchRun(build Builder, trainDS, testDS data.Dataset, iters int, o Opti
 	}
 	r.ctx, r.cancel = context.WithCancel(context.Background())
 	if o.SwitchFallback {
-		r.gate = newFallbackGate(r.ctx, o.Workers, r.swID, o.Obs)
+		r.gate = newFallbackGate(r.ctx, o.Workers, r.swID, o.Obs, o.Health)
 	}
 	return r
 }
@@ -460,6 +466,7 @@ func (r *switchRun) runWorker(id int, tp comm.Peer) {
 			w.applyAveraged(iter, w.grad, o, o.Workers)
 			r.computeNs[id] += time.Since(ta).Nanoseconds()
 			pending = false
+			o.Health.ObserveStep(id, iter, time.Since(passStart))
 			if id == 0 {
 				iterHist.Observe(time.Since(passStart))
 				lossGauge.Set(lastLoss)

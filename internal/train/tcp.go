@@ -118,6 +118,7 @@ func RunRingTCP(build Builder, trainDS, testDS data.Dataset, iters int, o Option
 				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)
 				computeNs[id] += time.Since(tx).Nanoseconds()
+				o.Health.ObserveStep(id, iter, time.Since(t0))
 				if id == 0 {
 					iterHist.Observe(time.Since(t0))
 					lossGauge.Set(loss)

@@ -19,6 +19,7 @@ import (
 	"inceptionn/internal/hierarchy"
 	"inceptionn/internal/nn"
 	"inceptionn/internal/obs"
+	"inceptionn/internal/obs/health"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/ring"
 )
@@ -173,6 +174,15 @@ type Options struct {
 	// elastic-layer metrics those components emit when a recorder reaches
 	// them. Nil (the zero value) disables all of it.
 	Obs *obs.Recorder
+
+	// Health, when non-nil, runs online anomaly detection over the run:
+	// every runner pushes per-node step completions into the engine, and
+	// the self-healing paths (switch fallback) report their events, so
+	// stragglers, degraded links and component failures open typed
+	// incidents while the run is still going. Usually paired with Obs —
+	// the engine's counter/span detectors read the same recorder. Nil
+	// disables it at the same zero cost as a nil recorder.
+	Health *health.Engine
 
 	// Straggler artificially slows the listed workers by the given extra
 	// compute time per iteration (inside their compute span, so traces
@@ -518,6 +528,7 @@ func runRing(build Builder, trainDS, testDS data.Dataset, iters int, o Options) 
 				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)
 				computeNs[id] += time.Since(tx).Nanoseconds()
+				o.Health.ObserveStep(id, iter, time.Since(t0))
 				if id == 0 {
 					iterHist.Observe(time.Since(t0))
 					lossGauge.Set(loss)
@@ -668,6 +679,7 @@ func runWA(build Builder, trainDS, testDS data.Dataset, iters int, o Options) (R
 				}
 				commNs[id] += time.Since(tc).Nanoseconds()
 				w.net.SetWeightVector(weights)
+				o.Health.ObserveStep(id, iter, time.Since(t0))
 				if id == 0 {
 					iterHist.Observe(time.Since(t0))
 					lossGauge.Set(loss)
@@ -762,6 +774,7 @@ func runHierarchical(build Builder, trainDS, testDS data.Dataset, iters int, o O
 				commNs[id] += tx.Sub(tc).Nanoseconds()
 				w.applyAveraged(iter, w.grad, o, o.Workers)
 				computeNs[id] += time.Since(tx).Nanoseconds()
+				o.Health.ObserveStep(id, iter, time.Since(t0))
 				if id == 0 {
 					iterHist.Observe(time.Since(t0))
 					lossGauge.Set(loss)
