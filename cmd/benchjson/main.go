@@ -2,22 +2,22 @@
 // readable JSON report. Given two result sets — one captured with
 // GOMAXPROCS=1 and one with the default parallelism — it pairs the
 // benchmarks by name and reports the multi-core speedup of each, which is
-// how `make bench` produces BENCH_2.json.
+// how `make bench` produces bench/BENCH_2.json.
 //
 // Usage:
 //
-//	benchjson -single single.txt -multi multi.txt -out BENCH_2.json
+//	benchjson -single single.txt -multi multi.txt -out bench/BENCH_2.json
 //
 // The -single flag is optional; without it, speedups are omitted and the
 // report carries only the -multi numbers.
 //
 // Overhead mode pairs two benchmarks from the same -multi file — an
 // instrumented variant and its baseline — and reports the relative cost,
-// which is how `make bench4` produces BENCH_4.json for the observability
+// which is how `make bench4` produces bench/BENCH_4.json for the observability
 // recorder:
 //
 //	benchjson -multi obs.txt -overhead-off 'BenchmarkObsOverhead/recorderOff' \
-//	    -overhead-on 'BenchmarkObsOverhead/recorderOn' -out BENCH_4.json
+//	    -overhead-on 'BenchmarkObsOverhead/recorderOn' -out bench/BENCH_4.json
 //
 // Diff mode compares two reports this tool previously wrote (either the
 // plain entry-list shape or an OverheadReport) and fails when any shared
@@ -203,7 +203,7 @@ func runDiff(oldPath, newPath string, maxRegress float64) error {
 func run() error {
 	single := flag.String("single", "", "bench output captured with GOMAXPROCS=1 (optional)")
 	multi := flag.String("multi", "", "bench output captured with default GOMAXPROCS (required)")
-	out := flag.String("out", "BENCH_2.json", "output JSON path")
+	out := flag.String("out", "bench/BENCH_2.json", "output JSON path")
 	overheadOff := flag.String("overhead-off", "", "overhead mode: baseline benchmark name in -multi")
 	overheadOn := flag.String("overhead-on", "", "overhead mode: instrumented benchmark name in -multi")
 	maxOverhead := flag.Float64("max-overhead-pct", 0, "overhead mode: fail when overhead_pct exceeds this bound (0 = no bound)")

@@ -386,6 +386,7 @@ func main() {
 	bench7 := flag.String("bench7", "", "write switch-vs-ring-vs-WA exchange benchmarks (JSON) to this file and exit")
 	bench7Bytes := flag.Int64("bench7-bytes", 0, "bench7: gradient bytes (0 = AlexNet's 233 MB)")
 	bench8 := flag.String("bench8", "", "write the switch->ring fallback cost benchmark (JSON) to this file and exit")
+	bench10 := flag.String("bench10", "", "write the auto-tuner pick-vs-brute-force benchmark (JSON) to this file and exit")
 	flag.Parse()
 
 	if *simtrace != "" {
@@ -415,6 +416,14 @@ func main() {
 
 	if *bench8 != "" {
 		if err := runBench8(*bench8); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *bench10 != "" {
+		if err := runBench10(*bench10); err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}

@@ -15,7 +15,11 @@
 //	                                          # aggregation switch when it gates
 //	inctrace calibrate -measured run.jsonl -sim sim.jsonl
 //	                                          # per-phase sim-vs-measured
-//	                                          # relative error table
+//	                                          # relative error table;
+//	                                          # -max-rel-err gates CI
+//	inctrace tune run.jsonl                   # fit α-β-γ from the trace,
+//	                                          # rank strategy/chunk/compression
+//	                                          # plans, what-if scaling
 //	inctrace health -addr 127.0.0.1:8080      # health-engine status + incident
 //	                                          # timeline from a live run
 //	inctrace incidents blackbox-*.jsonl       # incident timeline from black-box
@@ -33,10 +37,14 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"inceptionn/internal/netsim"
 	"inceptionn/internal/obs"
 	"inceptionn/internal/obs/health"
+	"inceptionn/internal/tune"
 )
 
 func fatal(err error) {
@@ -124,7 +132,7 @@ func cmdBreakdown(args []string) {
 
 	if *addr == "" && fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: inctrace [breakdown] [flags] trace.jsonl... | inctrace -addr host:port")
-		fmt.Fprintln(os.Stderr, "subcommands: breakdown, metrics, collect, merge, blame, calibrate, health, incidents")
+		fmt.Fprintln(os.Stderr, "subcommands: breakdown, metrics, collect, merge, blame, calibrate, tune, health, incidents")
 		fs.PrintDefaults()
 		os.Exit(2)
 	}
@@ -273,14 +281,16 @@ func cmdBlame(args []string) {
 }
 
 // cmdCalibrate diffs a simulated trace against a measured one, phase by
-// phase.
+// phase, optionally gating on the largest relative error.
 func cmdCalibrate(args []string) {
 	fs := flag.NewFlagSet("calibrate", flag.ExitOnError)
 	measured := fs.String("measured", "", "measured trace JSONL (from a real run)")
 	sim := fs.String("sim", "", "simulated trace JSONL (incbench -simtrace, or any RecordRaw producer)")
+	maxRelErr := fs.Float64("max-rel-err", 0, "exit non-zero when any comparable phase's |rel err| exceeds this (0 = report only)")
+	trim := fs.Float64("trim", 0, "drop the slowest fraction of measured cells per phase before averaging (outlier robustness)")
 	fs.Parse(args)
 	if *measured == "" || *sim == "" {
-		fmt.Fprintln(os.Stderr, "usage: inctrace calibrate -measured run.jsonl -sim sim.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: inctrace calibrate [-max-rel-err 0.15] [-trim 0.1] -measured run.jsonl -sim sim.jsonl")
 		os.Exit(2)
 	}
 	read := func(path string) []obs.Span {
@@ -295,9 +305,130 @@ func cmdCalibrate(args []string) {
 		}
 		return spans
 	}
-	c := obs.Calibrate(read(*measured), read(*sim))
+	c := obs.CalibrateTrimmed(read(*measured), read(*sim), *trim)
 	fmt.Printf("calibration: %s (measured) vs %s (sim), per-phase mean seconds per node-iteration\n\n", *measured, *sim)
 	c.Render(os.Stdout)
+	if c.Comparable() > 0 {
+		fmt.Printf("\nmax |rel err| over %d comparable phase(s): %.1f%%\n", c.Comparable(), 100*c.MaxAbsRelErr())
+	}
+	if *maxRelErr > 0 {
+		if c.Comparable() == 0 {
+			fatal(fmt.Errorf("-max-rel-err set but no phase is comparable (one-sided or empty traces)"))
+		}
+		if e := c.MaxAbsRelErr(); e > *maxRelErr {
+			fatal(fmt.Errorf("max |rel err| %.3f exceeds -max-rel-err %.3f", e, *maxRelErr))
+		}
+	}
+}
+
+// cmdTune closes the observe→model→tune loop offline: it fits the α-β-γ
+// parameter set from one or more measured traces and sweeps the
+// strategy × chunk × compression plan space through the calibrated
+// models, with a what-if extrapolation to larger scales. Traces written
+// by auto-tuned or -trace-out runs carry a self-describing tune_meta
+// line; for raw traces the workload comes from the flags.
+func cmdTune(args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "workload workers (default: the trace's tune_meta line)")
+	modelBytes := fs.Int64("model-bytes", 0, "model size in bytes (default: tune_meta)")
+	strategy := fs.String("strategy", "ring", "workload strategy for raw traces (ring|switch|...)")
+	chunk := fs.Int("chunk", 0, "workload chunk floats for raw traces (0 = whole block)")
+	compress := fs.Bool("compress", false, "traces are from compressed runs (contribute codec rate + ratio only)")
+	ratio := fs.Float64("ratio", 0, "compression ratio override for compressed plan candidates")
+	iters := fs.Int("iters", 0, "iterations per trace (default: inferred from spans)")
+	warmup := fs.Int("warmup", 0, "leading iterations to drop from each trace")
+	noCompress := fs.Bool("no-compress", false, "exclude compressed candidates from the sweep")
+	whatIf := fs.String("what-if", "", "comma-separated node counts for the scaling extrapolation (default ladder when empty)")
+	top := fs.Int("top", 8, "ranked plans to print")
+	maxRelErr := fs.Float64("max-rel-err", 0, "exit non-zero when the fit's comm-phase residual exceeds this (0 = report only)")
+	jsonOut := fs.Bool("json", false, "emit the fit, ranked plans and what-if table as JSON")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: inctrace tune [flags] trace.jsonl...")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+
+	fallback := tune.Workload{
+		Workers:     *workers,
+		ModelBytes:  *modelBytes,
+		Strategy:    *strategy,
+		ChunkFloats: *chunk,
+		Compress:    *compress,
+		Ratio:       *ratio,
+		Iters:       *iters,
+	}
+	var samples []tune.Sample
+	for _, path := range fs.Args() {
+		s, _, err := tune.ReadTraceFile(path, fallback)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		s.WarmupIters = *warmup
+		if err := s.Workload.Validate(); err != nil {
+			fatal(fmt.Errorf("%s: no tune_meta line and incomplete flags: %w", path, err))
+		}
+		samples = append(samples, s)
+	}
+	fit, err := tune.Fit(samples, netsim.Params{})
+	if err != nil {
+		fatal(err)
+	}
+
+	w0 := samples[0].Workload
+	pl := &tune.Planner{
+		Fit:        fit,
+		Workers:    w0.Workers,
+		ModelBytes: w0.ModelBytes,
+		Ratio:      *ratio,
+		NoCompress: *noCompress,
+	}
+	if *workers > 0 {
+		pl.Workers = *workers
+	}
+	if *modelBytes > 0 {
+		pl.ModelBytes = *modelBytes
+	}
+	plans := pl.Rank(pl.Candidates())
+	rows := pl.WhatIf(parseNodeList(*whatIf))
+
+	if *jsonOut {
+		out := struct {
+			Fit    *tune.Fitted  `json:"fit"`
+			Plans  []tune.Plan   `json:"plans"`
+			WhatIf []tune.WhatIf `json:"what_if"`
+		}{fit, plans, rows}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		fit.RenderFit(os.Stdout)
+		fmt.Printf("\nranked plans (%d workers, %d MB model):\n", pl.Workers, pl.ModelBytes>>20)
+		tune.RenderPlans(os.Stdout, plans, *top)
+		fmt.Println("\nwhat-if scaling:")
+		tune.RenderWhatIf(os.Stdout, rows)
+	}
+	if *maxRelErr > 0 && fit.MaxCommRelErr > *maxRelErr {
+		fatal(fmt.Errorf("fit comm-phase residual %.3f exceeds -max-rel-err %.3f", fit.MaxCommRelErr, *maxRelErr))
+	}
+}
+
+// parseNodeList parses "64,256,1024" (empty = nil, the default ladder).
+func parseNodeList(s string) []int {
+	if s == "" {
+		return nil
+	}
+	var nodes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			fatal(fmt.Errorf("bad -what-if node count %q", part))
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes
 }
 
 // cmdHealth scrapes a live run's /health endpoint (inctrain -health
@@ -404,6 +535,9 @@ func main() {
 			return
 		case "calibrate":
 			cmdCalibrate(args[1:])
+			return
+		case "tune":
+			cmdTune(args[1:])
 			return
 		case "health":
 			cmdHealth(args[1:])

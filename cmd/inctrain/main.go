@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -37,6 +38,7 @@ import (
 	"inceptionn/internal/obs/health"
 	"inceptionn/internal/opt"
 	"inceptionn/internal/train"
+	"inceptionn/internal/tune"
 )
 
 // parseCrashSpec parses -chaos-crash: comma-separated node:afterSends
@@ -132,6 +134,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the final /metrics JSON snapshot to this file when the run ends")
 	traceCap := flag.Int("trace-cap", 1<<16, "step tracer ring-buffer capacity (spans; oldest overwritten)")
 	straggle := flag.String("straggle", "", "inject per-iteration compute delay on nodes, e.g. \"2:5ms\" or \"0:1ms,3:10ms\" (validates `inctrace blame`)")
+	autotune := flag.Bool("autotune", false, "probe the machine, fit the α-β-γ model from the probe traces, and train with the best strategy/chunk/compression plan (in-process fabric only; overrides -algo and chunking)")
+	probeIters := flag.Int("probe-iters", 16, "autotune: iterations per probe run")
 	healthOn := flag.Bool("health", false, "run the online health engine: streaming straggler/link/transport anomaly detection with typed incidents (serves /health when -metrics-addr is set)")
 	healthInterval := flag.Duration("health-interval", 500*time.Millisecond, "health engine poll interval for the counter/gauge detectors")
 	blackboxDir := flag.String("blackbox-dir", "", "write a flight-recorder black-box JSONL dump into this directory whenever an incident opens (implies -health; replay with `inctrace incidents -replay` or `inctrace blame`)")
@@ -221,14 +225,17 @@ func main() {
 		}
 	}
 
-	if *compress {
+	// -autotune needs a wire processor even when -compress is off, so the
+	// planner can probe and rank compressed candidates; o.Compress still
+	// follows the flag (the tuner flips it when a compressed plan wins).
+	if *compress || *autotune {
 		b, err := fpcodec.NewBound(*bound)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "inctrain:", err)
 			os.Exit(2)
 		}
 		o.Processor = nic.Processor{Bound: b, Obs: o.Obs}
-		o.Compress = true
+		o.Compress = *compress
 	}
 	if *straggle != "" {
 		s, serr := parseStragglerSpec(*straggle)
@@ -263,6 +270,10 @@ func main() {
 	}
 	if *elastic && *algo != "ring" {
 		fmt.Fprintln(os.Stderr, "inctrain: -elastic requires -algo ring")
+		os.Exit(2)
+	}
+	if *autotune && (*tcp || *elastic) {
+		fmt.Fprintln(os.Stderr, "inctrain: -autotune probes the in-process fabric and cannot combine with -tcp or -elastic")
 		os.Exit(2)
 	}
 	if (*join || *coordAddr != "") && !(*elastic && *tcp) {
@@ -305,6 +316,12 @@ func main() {
 		}
 	}
 
+	// tuneMeta, when set, is appended to -trace-out as a self-describing
+	// tune_meta line: the run's workload plus (for auto-tuned runs) the
+	// chosen plan and fitted parameters. `inctrace tune` then re-fits and
+	// re-plans from the trace file alone.
+	var tuneMeta *tune.Meta
+
 	// flushObs persists the span ring buffer (whole-run file and/or
 	// per-node split) and the final metrics snapshot, and settles the
 	// health engine (final detector pass + incident report); called on
@@ -323,6 +340,9 @@ func main() {
 			f, ferr := os.Create(*traceOut)
 			if ferr == nil {
 				ferr = tracer.WriteJSONL(f)
+				if ferr == nil && tuneMeta != nil {
+					ferr = tuneMeta.Append(f)
+				}
 				if cerr := f.Close(); ferr == nil {
 					ferr = cerr
 				}
@@ -391,6 +411,35 @@ func main() {
 			os.Exit(130)
 		}()
 		defer signal.Stop(sig)
+	}
+
+	// The auto-tune loop: short probe runs, a fitted model, a ranked plan
+	// sweep, and the winning exchange configuration installed into the
+	// options the real run trains with.
+	if *autotune {
+		fmt.Printf("autotune: probing the fabric (%d iterations per probe)\n", *probeIters)
+		tres, applied, terr := tune.AutoTune(build, trainDS, testDS, o, tune.AutoOptions{ProbeIters: *probeIters})
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "inctrain:", terr)
+			os.Exit(1)
+		}
+		tres.Render(os.Stdout)
+		o = applied
+		if o.Obs != nil {
+			tres.PublishGauges(o.Obs)
+		}
+		w := tres.Workload
+		w.Strategy = tres.Chosen.Strategy
+		w.ChunkFloats = tres.Chosen.ChunkFloats
+		w.Compress = tres.Chosen.Compress
+		if w.Compress {
+			w.Ratio = tres.Fit.Ratio
+		}
+		w.Iters = *iters
+		m := tres.MetaFor(w)
+		tuneMeta = &m
+		fmt.Printf("\nautotune: chosen %s, predicted %.4fs/iter (probe cost %.1fs)\n",
+			tres.Chosen.PlanOption, tres.Chosen.PredIterSec, tres.ProbeSeconds)
 	}
 
 	transport := "in-process fabric"
@@ -495,5 +544,45 @@ func main() {
 		fmt.Printf("timing: compute %.3fs, comm %.3fs, straggler wait %.3fs (summed across workers)\n",
 			res.ComputeSeconds, res.CommSeconds, res.StragglerWaitSeconds)
 	}
+	// Plain runs get a self-describing tune_meta line too, so
+	// `inctrace tune run.jsonl` can re-fit from the trace file alone.
+	if tuneMeta == nil && tracer != nil && *traceOut != "" {
+		w := tune.Workload{
+			Workers:     *workers,
+			ModelBytes:  build(rand.New(rand.NewSource(*seed))).SizeBytes(),
+			Strategy:    strategyName(*algo),
+			ChunkFloats: o.ChunkSize,
+			Compress:    o.Compress,
+			Iters:       *iters,
+		}
+		if *algo == "switch" {
+			w.ChunkFloats = o.SwitchChunk
+		}
+		if o.Compress && res.RawBytes > 0 && res.WireBytes > 0 {
+			w.Ratio = float64(res.RawBytes) / float64(res.WireBytes)
+		}
+		if w.Validate() == nil {
+			m := tune.Meta{Version: 1, Workload: w}
+			tuneMeta = &m
+		}
+	}
 	flushObs()
+}
+
+// strategyName maps the -algo flag onto the tune package's strategy
+// vocabulary.
+func strategyName(algo string) string {
+	switch algo {
+	case "ring":
+		return "ring"
+	case "wa":
+		return "worker-aggregator"
+	case "tree2":
+		return "hierarchical-tree"
+	case "ring2":
+		return "hierarchical-ring"
+	case "switch":
+		return "switch"
+	}
+	return algo
 }

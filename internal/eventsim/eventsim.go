@@ -213,7 +213,13 @@ func (s *Sim) Run() []float64 {
 		for _, f := range s.flows {
 			if f.active {
 				f.remaining -= f.rate * dt
-				if f.remaining <= 1e-9*(1+f.bytes) {
+				// Second disjunct: the flow's residual drain time has
+				// underflown the clock (now + remaining/rate == now, so dt
+				// can never advance it) — happens when a fitted or
+				// configured rate is absurdly high relative to the
+				// timescale; without it the loop would spin forever.
+				if f.remaining <= 1e-9*(1+f.bytes) ||
+					(f.rate > 0 && now+f.remaining/f.rate == now) {
 					f.remaining = 0
 					f.active = false
 					f.finished = true

@@ -38,6 +38,12 @@ var metaMarker = []byte(`"trace_meta"`)
 // the span-based reports unchanged.
 var blackboxMarker = []byte(`"blackbox"`)
 
+// tuneMarker identifies the auto-tuner's self-description aux line
+// (workload, chosen plan, fitted parameters — see internal/tune.Meta).
+// ReadTrace skips it the same way, so tuned traces replay through the
+// span-based reports unchanged.
+var tuneMarker = []byte(`"tune_meta"`)
+
 // Tracer records phase spans into a bounded ring buffer: once capacity
 // is reached the oldest spans are overwritten, so a tracer's memory is
 // fixed no matter how long the run. Span timestamps are nanoseconds
@@ -247,6 +253,14 @@ func ReadTrace(r io.Reader) ([]Span, []TraceMeta, error) {
 		if bytes.Contains(b, blackboxMarker) {
 			var aux struct {
 				Version int `json:"blackbox"`
+			}
+			if err := json.Unmarshal(b, &aux); err == nil && aux.Version != 0 {
+				continue
+			}
+		}
+		if bytes.Contains(b, tuneMarker) {
+			var aux struct {
+				Version int `json:"tune_meta"`
 			}
 			if err := json.Unmarshal(b, &aux); err == nil && aux.Version != 0 {
 				continue

@@ -1,0 +1,93 @@
+package tune
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+
+	"inceptionn/internal/netsim"
+	"inceptionn/internal/obs"
+)
+
+// Meta is the auxiliary trace line that makes a run self-describing:
+// the workload that produced the spans and — after an auto-tuned run —
+// the plan that was applied and the parameters that were fitted. It is
+// written as one JSONL line whose "tune_meta" key marks it; obs
+// trace readers skip it, tune readers pick it up, so a trace file alone
+// is enough to re-fit and re-plan (`inctrace tune run.jsonl`).
+type Meta struct {
+	// Version is the schema version (currently 1); its JSON key doubles
+	// as the line marker.
+	Version  int      `json:"tune_meta"`
+	Workload Workload `json:"workload"`
+
+	// Chosen and PredIterSec record an auto-tuner decision (absent on
+	// plain runs).
+	Chosen      *PlanOption `json:"chosen,omitempty"`
+	PredIterSec float64     `json:"pred_iter_seconds,omitempty"`
+	// Params is the fitted parameter set behind the decision.
+	Params        *netsim.Params `json:"fitted_params,omitempty"`
+	MaxCommRelErr float64        `json:"max_comm_rel_err,omitempty"`
+}
+
+// Append writes the meta as one JSONL line.
+func (m Meta) Append(w io.Writer) error {
+	if m.Version == 0 {
+		m.Version = 1
+	}
+	return json.NewEncoder(w).Encode(m)
+}
+
+// metaMarker identifies a tune meta line without a full JSON parse.
+var metaMarker = []byte(`"tune_meta"`)
+
+// ParseTrace reads a JSONL trace stream, returning its spans, trace
+// headers, and the first tune meta line if any.
+func ParseTrace(r io.Reader) ([]obs.Span, []obs.TraceMeta, *Meta, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var meta *Meta
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b := sc.Bytes()
+		if !bytes.Contains(b, metaMarker) {
+			continue
+		}
+		var m Meta
+		if err := json.Unmarshal(b, &m); err == nil && m.Version != 0 {
+			meta = &m
+			break
+		}
+	}
+	spans, headers, err := obs.ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return spans, headers, meta, nil
+}
+
+// ReadTraceFile reads one trace file into a fitting sample. When the
+// file carries a tune meta line its workload is used; otherwise the
+// fallback workload is attached (pass a zero Workload to require the
+// meta — Sample.Workload.Validate will then reject the sample).
+func ReadTraceFile(path string, fallback Workload) (Sample, *Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Sample{}, nil, err
+	}
+	defer f.Close()
+	spans, _, meta, err := ParseTrace(f)
+	if err != nil {
+		return Sample{}, nil, err
+	}
+	s := Sample{Workload: fallback, Spans: spans}
+	if meta != nil {
+		s.Workload = meta.Workload
+	}
+	return s, meta, nil
+}

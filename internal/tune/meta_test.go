@@ -1,0 +1,128 @@
+package tune
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"inceptionn/internal/netsim"
+	"inceptionn/internal/obs"
+)
+
+func TestMetaRoundTrip(t *testing.T) {
+	params := netsim.Default10GbE()
+	m := Meta{
+		Workload:      Workload{Workers: 4, ModelBytes: 4 << 20, Strategy: "ring", Iters: 8},
+		Chosen:        &PlanOption{Strategy: "switch", ChunkFloats: 1 << 14, Compress: true},
+		PredIterSec:   0.0123,
+		Params:        &params,
+		MaxCommRelErr: 0.07,
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteSpansJSONL(&buf, obs.TraceMeta{Version: 1, Node: -1, Source: "run"}, []obs.Span{
+		{Node: 0, Iter: 0, Phase: obs.PhaseSend, Start: 0, Dur: 1000},
+		{Node: 0, Iter: 0, Phase: obs.PhaseReduce, Start: 1000, Dur: 500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Append(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, headers, got, err := ParseTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2 (tune_meta line must not parse as a span)", len(spans))
+	}
+	if len(headers) != 1 {
+		t.Fatalf("headers = %d, want 1", len(headers))
+	}
+	if got == nil {
+		t.Fatal("tune meta line not found")
+	}
+	if got.Version != 1 {
+		t.Fatalf("Version = %d, want 1 (defaulted by Append)", got.Version)
+	}
+	if got.Workload != m.Workload {
+		t.Fatalf("workload = %+v, want %+v", got.Workload, m.Workload)
+	}
+	if got.Chosen == nil || *got.Chosen != *m.Chosen {
+		t.Fatalf("chosen = %+v, want %+v", got.Chosen, m.Chosen)
+	}
+	if got.Params == nil || got.Params.LineRate != params.LineRate {
+		t.Fatal("fitted params did not round-trip")
+	}
+	if got.PredIterSec != m.PredIterSec || got.MaxCommRelErr != m.MaxCommRelErr {
+		t.Fatal("scalar fields did not round-trip")
+	}
+
+	// The same bytes must replay through plain obs readers unchanged.
+	oSpans, _, err := obs.ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("obs.ReadTrace on a tuned trace: %v", err)
+	}
+	if len(oSpans) != 2 {
+		t.Fatalf("obs spans = %d, want 2", len(oSpans))
+	}
+}
+
+func TestParseTraceWithoutMeta(t *testing.T) {
+	var buf bytes.Buffer
+	if err := obs.WriteSpansJSONL(&buf, obs.TraceMeta{}, []obs.Span{{Node: 0, Iter: 0, Phase: obs.PhaseSend, Dur: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	spans, _, meta, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta != nil {
+		t.Fatal("meta invented on a plain trace")
+	}
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d, want 1", len(spans))
+	}
+}
+
+func TestReadTraceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	var buf bytes.Buffer
+	if err := obs.WriteSpansJSONL(&buf, obs.TraceMeta{Version: 1, Node: -1}, []obs.Span{{Node: 0, Iter: 0, Phase: obs.PhaseSend, Dur: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	m := Meta{Workload: Workload{Workers: 8, ModelBytes: 1 << 20, Strategy: "ring"}}
+	if err := m.Append(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fallback := Workload{Workers: 2, ModelBytes: 1, Strategy: "ring"}
+	s, meta, err := ReadTraceFile(path, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta == nil || s.Workload.Workers != 8 {
+		t.Fatalf("meta workload not used: %+v", s.Workload)
+	}
+
+	// Without a meta line the fallback applies.
+	plainPath := filepath.Join(dir, "plain.jsonl")
+	var buf2 bytes.Buffer
+	_ = obs.WriteSpansJSONL(&buf2, obs.TraceMeta{Version: 1, Node: -1}, []obs.Span{{Node: 0, Iter: 0, Phase: obs.PhaseSend, Dur: 1}})
+	if err := os.WriteFile(plainPath, buf2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, meta2, err := ReadTraceFile(plainPath, fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2 != nil || s2.Workload != fallback {
+		t.Fatalf("fallback workload not applied: %+v", s2.Workload)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build race
+
+package tune
+
+func init() { raceEnabled = true }
